@@ -1,0 +1,36 @@
+"""Shared plumbing for the experiment benches.
+
+Every bench regenerates one of the paper's (reconstructed) tables or
+figures: it runs the experiment inside the pytest-benchmark fixture,
+prints the paper-style rows, and also writes them to
+``benchmarks/results/<experiment id>.txt`` so the output survives
+pytest's capture. Shape assertions at the end of each bench encode what
+must hold for the reproduction to count (DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+from typing import Any, Callable
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(experiment_id: str, text: str) -> None:
+    """Print a bench's table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / f"{experiment_id}.txt"
+    out.write_text(text + "\n")
+    # Both streams: stdout is captured per-test, but -s / failed tests show it.
+    print(f"\n{text}\n[written to {out}]")
+    sys.stdout.flush()
+
+
+def run_once(benchmark, fn: Callable[[], Any]) -> Any:
+    """Run the experiment exactly once under the benchmark fixture.
+
+    These benches measure end-to-end experiment regeneration time, not a
+    hot loop — one round is the honest number.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,122 @@
+"""A4 (extension) — Link-quality class contexts: when do they pay?
+
+Per-class probability tables sharpen the code for heterogeneous links:
+good links encode against a near-deterministic model, bad links against
+a flat one. The ablation sweeps the class count in two settings:
+
+* a **forced-path chain** with alternating excellent/terrible links —
+  every packet must cross both kinds, so the single shared model is a
+  blurry mixture and classes win;
+* a **routed random deployment** with the same heterogeneous link pool —
+  ETX parent selection steers traffic onto the good links, the *used*
+  links are homogeneous, and classes buy nothing while dissemination
+  cost scales with the class count.
+
+Expected shape: on the chain, annotation bits fall with classes; on the
+routed network they stay flat and total overhead strictly grows — the
+extension pays exactly when path choice is constrained.
+"""
+
+from dataclasses import replace
+
+from repro.core import DophyConfig
+from repro.net.link import BernoulliLink, beta_loss_assigner
+from repro.workloads import (
+    dophy_approach,
+    dynamic_rgg_scenario,
+    format_table,
+    line_scenario,
+    run_comparison,
+)
+
+from _common import emit, run_once
+
+CLASS_COUNTS = [1, 2, 4]
+
+
+def _alternating_assigner(low=0.02, high=0.5):
+    def make(u, v, rng):
+        return BernoulliLink(low if min(u, v) % 2 == 0 else high)
+
+    return make
+
+
+def _experiment():
+    out = {}
+    # Forced heterogeneous paths.
+    chain = line_scenario(7, duration=400.0, traffic_period=1.5, max_retries=30)
+    chain = replace(chain, link_assigner=_alternating_assigner())
+    approaches = [
+        dophy_approach(
+            f"c{c}",
+            DophyConfig(link_classes=c, model_update_period=60.0,
+                        path_encoding="assumed"),
+        )
+        for c in CLASS_COUNTS
+    ]
+    rows, _ = run_comparison(chain, approaches, seed=116)
+    out["chain (forced paths)"] = rows
+    # Routed deployment over the same quality pool.
+    rgg = dynamic_rgg_scenario(
+        60, churn_noise=0.3, duration=400.0, traffic_period=2.0, max_retries=30
+    )
+    rgg = replace(rgg, link_assigner=beta_loss_assigner(0.8, 4.0, scale=0.9))
+    approaches = [
+        dophy_approach(
+            f"c{c}",
+            DophyConfig(link_classes=c, model_update_period=60.0,
+                        path_encoding="assumed"),
+        )
+        for c in CLASS_COUNTS
+    ]
+    rows, _ = run_comparison(rgg, approaches, seed=116)
+    out["routed RGG (free paths)"] = rows
+    return out
+
+
+def test_a4_link_classes(benchmark):
+    out = run_once(benchmark, _experiment)
+    table = []
+    raw = {}
+    for setting, rows in out.items():
+        for c in CLASS_COUNTS:
+            r = rows[f"c{c}"]
+            table.append(
+                [
+                    setting if c == CLASS_COUNTS[0] else "",
+                    c,
+                    r.overhead.mean_bits_per_packet,
+                    r.overhead.control_bits / 1000.0,
+                    r.overhead.total_bits / 1000.0,
+                ]
+            )
+            raw[(setting, c)] = r
+    text = format_table(
+        ["setting", "classes", "ann bits/pkt", "dissem kbits", "total kbits"],
+        table,
+        title="A4: link-class context models (count annotation only, assumed paths)",
+        precision=3,
+    )
+    emit("a4_link_classes", text)
+
+    chain, rgg = "chain (forced paths)", "routed RGG (free paths)"
+    # Forced paths: classes shrink annotations measurably.
+    assert (
+        raw[(chain, 4)].overhead.mean_bits_per_packet
+        < raw[(chain, 1)].overhead.mean_bits_per_packet - 0.5
+    )
+    # Routed network: no annotation gain (parent selection already
+    # homogenized the used links)...
+    assert (
+        abs(
+            raw[(rgg, 4)].overhead.mean_bits_per_packet
+            - raw[(rgg, 1)].overhead.mean_bits_per_packet
+        )
+        < 0.5
+    )
+    # ...so total overhead strictly grows with the class count there.
+    assert (
+        raw[(rgg, 1)].overhead.total_bits
+        < raw[(rgg, 2)].overhead.total_bits
+        < raw[(rgg, 4)].overhead.total_bits
+    )

@@ -1,0 +1,80 @@
+"""F2 — Encoding overhead vs link quality.
+
+Regenerates the overhead-vs-loss figure: mean annotation bits per packet
+on a fixed 9-node chain (max 8 hops) as the network-wide link loss level
+sweeps from excellent to poor. Assumed-path mode isolates count encoding.
+
+Expected shape: every entropy code's cost rises with loss (counts carry
+more information); fixed-width is flat and far above; Dophy tracks the
+source entropy, clearly winning at low loss where prefix codes are stuck
+at their 1-bit-per-symbol floor.
+"""
+
+from repro.coding import EliasGammaCode, GolombRiceCode
+from repro.core import DophyConfig
+from repro.workloads import (
+    dophy_approach,
+    format_table,
+    line_scenario,
+    path_measurement_approach,
+    run_comparison,
+)
+
+from _common import emit, run_once
+
+LOSS_LEVELS = [0.02, 0.05, 0.1, 0.2, 0.35, 0.5]
+SCHEMES = ["dophy", "fixed", "gamma", "rice0"]
+
+
+def _approaches():
+    return [
+        dophy_approach(
+            "dophy", DophyConfig(aggregation_threshold=3, path_encoding="assumed")
+        ),
+        path_measurement_approach("fixed", None, path_encoding="assumed"),
+        path_measurement_approach("gamma", EliasGammaCode(), path_encoding="assumed"),
+        path_measurement_approach("rice0", GolombRiceCode(0), path_encoding="assumed"),
+    ]
+
+
+def _experiment():
+    rows = []
+    raw = {}
+    for loss in LOSS_LEVELS:
+        scenario = line_scenario(
+            9,
+            loss_low=max(0.0, loss - 0.02),
+            loss_high=min(0.99, loss + 0.02),
+            duration=250.0,
+            traffic_period=3.0,
+        )
+        results, _ = run_comparison(scenario, _approaches(), seed=102)
+        row = [f"{loss:.0%}"]
+        for name in SCHEMES:
+            bits = results[name].overhead.mean_bits_per_packet
+            row.append(bits)
+            raw[(loss, name)] = bits
+        rows.append(row)
+    return rows, raw
+
+
+def test_f2_overhead_vs_quality(benchmark):
+    rows, raw = run_once(benchmark, _experiment)
+    text = format_table(
+        ["mean loss", "dophy", "fixed-width", "elias-gamma", "rice(0)"],
+        rows,
+        title="F2: annotation size vs link quality (9-node chain, bits/packet)",
+        precision=1,
+    )
+    emit("f2_overhead_vs_quality", text)
+
+    for loss in LOSS_LEVELS:
+        # Dophy far below fixed-width at every quality level.
+        assert raw[(loss, "dophy")] < 0.65 * raw[(loss, "fixed")]
+    # Entropy codes' cost rises with loss; fixed-width stays flat.
+    assert raw[(0.5, "dophy")] > raw[(0.02, "dophy")] * 1.3
+    assert raw[(0.5, "rice0")] > raw[(0.02, "rice0")] * 1.3
+    assert abs(raw[(0.5, "fixed")] - raw[(0.02, "fixed")]) < 2.0
+    # At low loss Dophy beats the prefix codes (sub-1-bit symbols).
+    assert raw[(0.02, "dophy")] < raw[(0.02, "gamma")]
+    assert raw[(0.02, "dophy")] < raw[(0.02, "rice0")]

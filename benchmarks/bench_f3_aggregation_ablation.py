@@ -1,0 +1,104 @@
+"""F3 — Ablation: symbol-aggregation threshold K.
+
+Dophy's first optimization. Sweeps K over {1, 2, 3, 4, 6, 8, none} on a
+mixed-quality network with model updates enabled, reporting annotation
+size, model-dissemination cost (tables have K+1 symbols, so dissemination
+scales directly with K), total overhead, and estimation accuracy — for
+both escape modes (exact extras vs censored).
+
+Expected shape: dissemination cost grows with K; annotation size is flat
+to mildly K-dependent; total overhead is minimized at a small K (the
+paper: aggregation "reduces the encoding overhead significantly"); with
+exact escapes accuracy is independent of K, while censored mode trades a
+small accuracy loss at small K for the cheapest annotations.
+"""
+
+from repro.core import DophyConfig
+from repro.workloads import (
+    dophy_approach,
+    dynamic_rgg_scenario,
+    format_table,
+    run_comparison,
+)
+
+from _common import emit, run_once
+
+THRESHOLDS = [1, 2, 3, 4, 6, 8, None]
+
+
+def _experiment():
+    scenario = dynamic_rgg_scenario(
+        50, churn_noise=0.3, duration=300.0, traffic_period=3.0,
+        loss_low=0.05, loss_high=0.45, max_retries=30,
+    )
+    approaches = []
+    for k in THRESHOLDS:
+        label = f"K={k}" if k is not None else "K=none"
+        approaches.append(
+            dophy_approach(
+                f"exact_{label}",
+                DophyConfig(aggregation_threshold=k, escape_mode="exact",
+                            model_update_period=60.0),
+            )
+        )
+        if k is not None:
+            approaches.append(
+                dophy_approach(
+                    f"cens_{label}",
+                    DophyConfig(aggregation_threshold=k, escape_mode="censored",
+                                model_update_period=60.0),
+                )
+            )
+    # The tuner: K re-selected by the sink at every update.
+    approaches.append(
+        dophy_approach(
+            "exact_K=auto",
+            DophyConfig(aggregation_threshold=3, auto_aggregation=True,
+                        escape_mode="exact", model_update_period=60.0),
+        )
+    )
+    rows_by_name, _ = run_comparison(scenario, approaches, seed=103, min_support=30)
+    return rows_by_name
+
+
+def test_f3_aggregation_ablation(benchmark):
+    rows_by_name = run_once(benchmark, _experiment)
+    table = []
+    raw = {}
+    for k in list(THRESHOLDS) + ["auto"]:
+        label = f"K={k}" if k is not None else "K=none"
+        for mode in ["exact", "cens"]:
+            name = f"{mode}_{label}"
+            if name not in rows_by_name:
+                continue
+            r = rows_by_name[name]
+            ann = r.overhead.mean_bits_per_packet
+            dis = r.overhead.control_bits
+            total = r.overhead.total_bits
+            table.append(
+                [label, mode, ann, dis / 1000.0, total / 1000.0, r.accuracy.mae]
+            )
+            raw[(k, mode)] = (ann, dis, total, r.accuracy.mae)
+    text = format_table(
+        ["K", "escape", "ann bits/pkt", "dissem kbits", "total kbits", "MAE"],
+        table,
+        title="F3: symbol-aggregation ablation (50-node dynamic RGG, updates every 60s)",
+        precision=3,
+    )
+    emit("f3_aggregation_ablation", text)
+
+    # Dissemination cost grows with the symbol-set size.
+    assert raw[(1, "exact")][1] < raw[(8, "exact")][1] < raw[(None, "exact")][1]
+    # Aggregation reduces total overhead vs the unaggregated alphabet.
+    assert raw[(3, "exact")][2] < raw[(None, "exact")][2]
+    # With exact escapes, accuracy is essentially independent of K.
+    maes = [raw[(k, "exact")][3] for k in THRESHOLDS]
+    assert max(maes) - min(maes) < 0.01
+    # Censored mode never sends extras, so annotations are no larger.
+    for k in [1, 2, 3]:
+        assert raw[(k, "cens")][0] <= raw[(k, "exact")][0] + 0.01
+    # Censored escapes at small K cost some accuracy vs exact.
+    assert raw[(1, "cens")][3] >= raw[(1, "exact")][3]
+    # The auto tuner lands within 10% of the best fixed K's total overhead.
+    best_fixed_total = min(raw[(k, "exact")][2] for k in THRESHOLDS)
+    assert raw[("auto", "exact")][2] <= 1.1 * best_fixed_total

@@ -1,0 +1,81 @@
+"""F4 — Ablation: probability-model update period under link drift.
+
+Dophy's second optimization. Links drift sinusoidally, so the true
+retransmission-count distribution moves over time. Nodes start from a
+deliberately generic factory prior (expected loss 50%). The sweep runs
+the update period from "never" (static model) to every 15 s, reporting
+per-packet annotation size, network-wide dissemination cost, and the
+total overhead the paper's mechanism is designed to minimize.
+
+Expected shape: annotation bits fall as updates track the drift;
+dissemination bits rise inversely with the period; total overhead has an
+interior optimum — both "never update" and "update constantly" lose to a
+moderate period.
+"""
+
+from repro.core import DophyConfig
+from repro.workloads import (
+    dophy_approach,
+    drifting_rgg_scenario,
+    format_table,
+    run_comparison,
+)
+
+from _common import emit, run_once
+
+PERIODS = [None, 15.0, 30.0, 60.0, 120.0, 300.0]
+
+
+def _experiment():
+    scenario = drifting_rgg_scenario(
+        40, duration=600.0, traffic_period=1.5, period_range=(80.0, 250.0)
+    )
+    approaches = [
+        dophy_approach(
+            "static" if p is None else f"every{p:g}s",
+            DophyConfig(model_update_period=p, initial_expected_loss=0.5),
+        )
+        for p in PERIODS
+    ]
+    rows, _ = run_comparison(scenario, approaches, seed=104, min_support=30)
+    return rows
+
+
+def test_f4_model_update_ablation(benchmark):
+    rows = run_once(benchmark, _experiment)
+    names = ["static"] + [f"every{p:g}s" for p in PERIODS if p is not None]
+    table = []
+    totals = {}
+    ann = {}
+    dis = {}
+    for name in names:
+        r = rows[name]
+        ann[name] = r.overhead.mean_bits_per_packet
+        dis[name] = r.overhead.control_bits
+        totals[name] = r.overhead.total_bits
+        table.append(
+            [
+                name,
+                ann[name],
+                dis[name] / 1000.0,
+                totals[name] / 1000.0,
+                r.accuracy.mae,
+            ]
+        )
+    text = format_table(
+        ["update period", "ann bits/pkt", "dissem kbits", "total kbits", "MAE"],
+        table,
+        title="F4: model-update ablation (40-node RGG, drifting links, 600s)",
+        precision=3,
+    )
+    emit("f4_model_update_ablation", text)
+
+    # Updates shrink annotations relative to the mismatched static prior.
+    assert ann["every15s"] < ann["static"]
+    assert ann["every60s"] < ann["static"]
+    # Dissemination cost is inverse in the period.
+    assert dis["every15s"] > dis["every60s"] > dis["every300s"] > dis["static"] == 0
+    # Interior optimum: some finite period beats both extremes.
+    best_finite = min(totals[n] for n in names if n != "static")
+    assert best_finite < totals["static"]
+    assert best_finite < totals["every15s"]

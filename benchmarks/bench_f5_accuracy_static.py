@@ -1,0 +1,91 @@
+"""F5 — Estimation accuracy on a static network (error CDF).
+
+Regenerates the accuracy comparison on classical tomography's home turf:
+an 80-node random deployment with frozen routing. Two MAC regimes are
+reported: a shallow retry cap (2), where end-to-end delivery still
+carries loss information, and CTP-style deep ARQ (30 retries), where
+delivery saturates at ~100% and end-to-end methods are blind to frame
+loss — the structural argument for Dophy's per-hop evidence.
+
+Expected shape: Dophy matches direct path measurement (same evidence)
+and beats every end-to-end method even statically; under deep ARQ the
+end-to-end methods collapse entirely while Dophy is unaffected.
+"""
+
+from repro.workloads import (
+    dophy_approach,
+    em_approach,
+    format_table,
+    linear_approach,
+    path_measurement_approach,
+    run_comparison,
+    static_rgg_scenario,
+    tree_ratio_approach,
+)
+
+from _common import emit, run_once
+
+CDF_POINTS = (0.01, 0.02, 0.05, 0.1, 0.2)
+METHODS = ["dophy", "direct", "tree_ratio", "linear", "em"]
+
+
+def _approaches():
+    return [
+        dophy_approach(),
+        path_measurement_approach(),
+        tree_ratio_approach(),
+        linear_approach(),
+        em_approach(),
+    ]
+
+
+def _experiment():
+    out = {}
+    for regime, retries in [("shallow ARQ (2 retries)", 2), ("deep ARQ (30 retries)", 30)]:
+        scenario = static_rgg_scenario(
+            80, duration=500.0, traffic_period=3.0, max_retries=retries
+        )
+        rows, result = run_comparison(
+            scenario, _approaches(), seed=105, min_support=30
+        )
+        out[regime] = (rows, result.delivery_ratio)
+    return out
+
+
+def test_f5_accuracy_static(benchmark):
+    out = run_once(benchmark, _experiment)
+    sections = []
+    raw = {}
+    for regime, (rows, delivery) in out.items():
+        table = []
+        for name in METHODS:
+            r = rows[name]
+            acc = r.accuracy
+            table.append(
+                [name, acc.mae, acc.p90_error]
+                + [acc.cdf.get(x) for x in CDF_POINTS]
+            )
+            raw[(regime, name)] = acc.mae
+        sections.append(
+            format_table(
+                ["method", "MAE", "p90"] + [f"P(e<={x:g})" for x in CDF_POINTS],
+                table,
+                title=f"F5: static 80-node RGG, {regime}, delivery {delivery:.1%}",
+                precision=3,
+            )
+        )
+    text = "\n\n".join(sections)
+    emit("f5_accuracy_static", text)
+
+    shallow = "shallow ARQ (2 retries)"
+    deep = "deep ARQ (30 retries)"
+    # Dophy == direct measurement (identical evidence), and both beat e2e.
+    assert abs(raw[(shallow, "dophy")] - raw[(shallow, "direct")]) < 1e-6
+    for e2e in ["tree_ratio", "linear", "em"]:
+        assert raw[(shallow, "dophy")] < raw[(shallow, e2e)] * 0.5
+    # Deep ARQ blinds the end-to-end methods (error ~ mean link loss) but
+    # leaves Dophy untouched.
+    assert raw[(deep, "dophy")] < 0.01
+    for e2e in ["tree_ratio", "linear", "em"]:
+        assert raw[(deep, e2e)] > 0.08
+        assert raw[(deep, e2e)] > raw[(shallow, e2e)]

@@ -1,0 +1,75 @@
+"""F7 — Scalability: accuracy and overhead vs network size.
+
+Runs the default dynamic scenario at 25/50/100/200 nodes and reports
+Dophy's accuracy, annotation size (absolute and per hop), model
+dissemination cost, and the network's mean path length.
+
+Expected shape: accuracy is size-independent (evidence is per-link);
+annotation bits per packet grow with mean path depth and with
+log2(N) node ids, i.e. clearly sub-linearly in N; per-hop bits are
+nearly flat.
+"""
+
+from repro.workloads import (
+    dophy_approach,
+    dynamic_rgg_scenario,
+    format_table,
+    run_comparison,
+)
+
+from _common import emit, run_once
+
+SIZES = [25, 50, 100, 200]
+
+
+def _experiment():
+    out = []
+    for n in SIZES:
+        scenario = dynamic_rgg_scenario(
+            n, churn_noise=0.4, duration=300.0, traffic_period=4.0
+        )
+        rows, result = run_comparison(
+            scenario, [dophy_approach()], seed=107, min_support=30
+        )
+        delivered = result.delivered_packets
+        mean_hops = (
+            sum(p.hop_count for p in delivered) / len(delivered) if delivered else 0.0
+        )
+        out.append((n, mean_hops, rows["dophy"], result.delivery_ratio))
+    return out
+
+
+def test_f7_scalability(benchmark):
+    out = run_once(benchmark, _experiment)
+    table = []
+    raw = {}
+    for n, mean_hops, row, delivery in out:
+        table.append(
+            [
+                n,
+                mean_hops,
+                f"{delivery:.1%}",
+                row.accuracy.mae,
+                row.overhead.mean_bits_per_packet,
+                row.overhead.mean_bits_per_hop,
+                row.overhead.control_bits / 1000.0,
+            ]
+        )
+        raw[n] = (row.accuracy.mae, row.overhead.mean_bits_per_packet,
+                  row.overhead.mean_bits_per_hop)
+    text = format_table(
+        ["nodes", "mean hops", "delivery", "dophy MAE", "bits/pkt", "bits/hop", "dissem kbits"],
+        table,
+        title="F7: Dophy scalability with network size (dynamic RGG, 300s)",
+        precision=3,
+    )
+    emit("f7_scalability", text)
+
+    # Accuracy holds at every size.
+    for n in SIZES:
+        assert raw[n][0] < 0.05
+    # Per-packet bits grow sub-linearly in N (8x nodes -> well under 4x bits).
+    assert raw[200][1] < raw[25][1] * 4
+    # Per-hop bits stay within a moderate band across sizes.
+    per_hop = [raw[n][2] for n in SIZES]
+    assert max(per_hop) < 2.5 * min(per_hop)

@@ -1,0 +1,72 @@
+"""F8 — Convergence: accuracy vs amount of collected traffic.
+
+Runs the static comparison at increasing run lengths and reports each
+method's MAE, showing how much traffic each needs to reach a given
+accuracy. Dophy extracts one per-link sample from *every* hop of *every*
+packet; end-to-end methods get one Bernoulli outcome per packet for a
+whole path, so they converge far more slowly.
+
+Expected shape: Dophy's error falls fast and is already below the
+end-to-end methods' *final* error with a fraction of the traffic.
+"""
+
+from repro.workloads import (
+    dophy_approach,
+    em_approach,
+    format_table,
+    run_comparison,
+    static_rgg_scenario,
+    tree_ratio_approach,
+)
+
+from _common import emit, run_once
+
+DURATIONS = [40.0, 80.0, 160.0, 320.0, 640.0]
+METHODS = ["dophy", "tree_ratio", "em"]
+
+
+def _experiment():
+    out = []
+    for duration in DURATIONS:
+        scenario = static_rgg_scenario(
+            50, duration=duration, traffic_period=3.0, max_retries=2
+        )
+        rows, result = run_comparison(
+            scenario,
+            [dophy_approach(), tree_ratio_approach(), em_approach()],
+            seed=108,
+            min_support=10,
+        )
+        out.append((duration, result.ground_truth.packets_generated, rows))
+    return out
+
+
+def test_f8_convergence(benchmark):
+    out = run_once(benchmark, _experiment)
+    table = []
+    raw = {}
+    for duration, packets, rows in out:
+        row = [f"{duration:g}s", packets]
+        for name in METHODS:
+            mae = rows[name].accuracy.mae
+            row.append(mae)
+            raw[(duration, name)] = mae
+        table.append(row)
+    text = format_table(
+        ["run length", "packets", "dophy MAE", "tree_ratio MAE", "em MAE"],
+        table,
+        title="F8: convergence — accuracy vs collected traffic (static 50-node RGG)",
+        precision=4,
+    )
+    emit("f8_convergence", text)
+
+    # Dophy improves with more data...
+    assert raw[(640.0, "dophy")] < raw[(40.0, "dophy")]
+    # ...and with a fraction of the traffic already beats the end-to-end
+    # methods' error at the longest run.
+    for e2e in ["tree_ratio", "em"]:
+        assert raw[(80.0, "dophy")] < raw[(640.0, e2e)]
+    # At every run length Dophy is the most accurate.
+    for duration in DURATIONS:
+        for e2e in ["tree_ratio", "em"]:
+            assert raw[(duration, "dophy")] < raw[(duration, e2e)]

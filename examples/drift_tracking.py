@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Tracking non-stationary link quality over time.
+
+Links drift (interference cycles, weather, duty-cycled jammers); a
+single pooled estimate smears over the whole run. This example attaches
+a :class:`SlidingLinkEstimator` as a decode listener on a running Dophy
+sink and prints the resulting link-quality *time series* for the busiest
+links, next to the true instantaneous loss.
+
+Run:  python examples/drift_tracking.py
+"""
+
+from repro.core import DophyConfig, DophySystem, SlidingLinkEstimator
+from repro.net import (
+    CollectionSimulation,
+    RoutingConfig,
+    SimulationConfig,
+    drifting_loss_assigner,
+    line_topology,
+)
+from repro.workloads import format_table
+
+WINDOW = 80.0
+DURATION = 600.0
+
+
+def main() -> None:
+    topology = line_topology(5)
+    dophy = DophySystem(DophyConfig(model_update_period=60.0))
+    sliding = SlidingLinkEstimator(max_attempts=31, window=WINDOW)
+    simulation = CollectionSimulation(
+        topology,
+        seed=31,
+        config=SimulationConfig(
+            duration=DURATION,
+            traffic_period=1.5,
+            routing=RoutingConfig(etx_noise_std=0.0),
+        ),
+        link_assigner=drifting_loss_assigner(
+            base_range=(0.15, 0.3),
+            amplitude_range=(0.1, 0.2),
+            period_range=(150.0, 300.0),
+        ),
+        observers=[dophy],
+    )
+    dophy.add_decode_listener(sliding.add_decoded)
+    result = simulation.run()
+
+    checkpoints = [100.0, 200.0, 300.0, 400.0, 500.0, 600.0]
+    # The two busiest links (closest to the sink see the most traffic).
+    busiest = sorted(
+        sliding.links(),
+        key=lambda l: -sliding.n_samples(l, now=DURATION),
+    )[:2]
+    pooled = dophy.report().estimates
+
+    for link in busiest:
+        rows = []
+        for t in checkpoints:
+            est = sliding.estimate(link, now=t)
+            true_now = result.channel.mean_loss(*link, t - WINDOW, t)
+            rows.append(
+                [
+                    f"t={t:g}s",
+                    sliding.n_samples(link, now=t),
+                    true_now,
+                    est.loss if est else None,
+                    abs(est.loss - true_now) if est else None,
+                ]
+            )
+        print(
+            format_table(
+                ["checkpoint", "window samples", "true loss (window avg)",
+                 "windowed estimate", "abs err"],
+                rows,
+                title=(
+                    f"Link {link[0]}->{link[1]} — drifting loss, "
+                    f"{WINDOW:.0f}s sliding window "
+                    f"(pooled whole-run estimate: {pooled[link].loss:.3f})"
+                ),
+                precision=3,
+            )
+        )
+        print()
+    print(
+        "Reading: the sliding-window estimate follows the drift at every\n"
+        "checkpoint, while the single pooled number can only report the\n"
+        "run-long average."
+    )
+
+
+if __name__ == "__main__":
+    main()

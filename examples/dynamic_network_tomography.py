@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The paper's headline scenario: accuracy under routing dynamics.
+
+Runs the same 60-node network at increasing levels of parent churn and
+compares Dophy against the three classical end-to-end tomography
+baselines. Classical methods degrade as the routing tree their inference
+assumes goes stale; Dophy's per-packet annotations are immune.
+
+Run:  python examples/dynamic_network_tomography.py
+"""
+
+from repro.workloads import (
+    dophy_approach,
+    dynamic_rgg_scenario,
+    em_approach,
+    format_table,
+    linear_approach,
+    run_comparison,
+    tree_ratio_approach,
+)
+
+
+def main() -> None:
+    approaches = [
+        dophy_approach(),
+        tree_ratio_approach(),
+        linear_approach(),
+        em_approach(),
+    ]
+    rows = []
+    for churn_noise in [0.0, 0.3, 0.6, 1.0]:
+        scenario = dynamic_rgg_scenario(
+            60, churn_noise=churn_noise, duration=300.0, traffic_period=4.0
+        )
+        results, sim_result = run_comparison(
+            scenario, approaches, seed=11, min_support=20
+        )
+        for name in ["dophy", "tree_ratio", "linear", "em"]:
+            r = results[name]
+            rows.append(
+                [
+                    f"{churn_noise:g}",
+                    f"{sim_result.churn_rate * 60:.2f}",
+                    name,
+                    r.accuracy.mae,
+                    r.accuracy.p90_error,
+                    f"{r.accuracy.coverage:.0%}",
+                ]
+            )
+    print(
+        format_table(
+            ["etx noise", "churn (chg/node/min)", "method", "MAE", "p90 err", "coverage"],
+            rows,
+            title="Per-link loss estimation accuracy vs routing dynamics (60-node RGG)",
+            precision=4,
+        )
+    )
+    print()
+    print(
+        "Reading: classical methods' error grows with churn (their assumed\n"
+        "tree goes stale); Dophy stays flat because every packet carries its\n"
+        "own path and retransmission evidence."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: run Dophy on a small dynamic sensor network.
+
+Builds a 30-node random deployment with heterogeneous lossy links and
+CTP-style dynamic routing, attaches the Dophy observer, runs five
+simulated minutes of data collection, and prints every well-sampled
+link's estimated frame-loss ratio next to the ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import DophyConfig, DophySystem
+from repro.net import (
+    CollectionSimulation,
+    RoutingConfig,
+    SimulationConfig,
+    random_geometric_topology,
+    uniform_loss_assigner,
+)
+from repro.workloads import format_table
+
+
+def main() -> None:
+    topology = random_geometric_topology(30, seed=7)
+    dophy = DophySystem(DophyConfig(aggregation_threshold=3))
+    simulation = CollectionSimulation(
+        topology,
+        seed=7,
+        config=SimulationConfig(
+            duration=300.0,
+            traffic_period=4.0,
+            routing=RoutingConfig(etx_noise_std=0.5),  # parents churn
+        ),
+        link_assigner=uniform_loss_assigner(0.05, 0.35),
+        observers=[dophy],
+    )
+    result = simulation.run()
+    report = dophy.report()
+    # Score against the *configured* link loss ("model") so the table shows
+    # honest sampling error; against the realized frame outcomes
+    # ("empirical") Dophy is exact by construction whenever every packet is
+    # delivered, because it observes the very same ARQ exchanges.
+    truth = result.ground_truth.true_loss_map(kind="model")
+
+    print(
+        f"network: {topology.num_nodes} nodes, "
+        f"{result.ground_truth.packets_generated} packets, "
+        f"delivery {result.delivery_ratio:.1%}, "
+        f"{result.routing.total_parent_changes} parent changes"
+    )
+    print(
+        f"dophy: {report.packets_decoded} annotations decoded, "
+        f"mean {report.mean_annotation_bits / 8:.1f} B/packet "
+        f"({report.mean_bits_per_hop:.1f} bits/hop), "
+        f"{report.model_updates} model updates"
+    )
+    print()
+
+    rows = []
+    for link, est in sorted(report.estimates.items()):
+        if est.n_samples < 50 or link not in truth:
+            continue
+        lo, hi = est.confidence_interval()
+        rows.append(
+            [
+                f"{link[0]}->{link[1]}",
+                est.n_samples,
+                truth[link],
+                est.loss,
+                abs(est.loss - truth[link]),
+                f"[{lo:.3f}, {hi:.3f}]",
+            ]
+        )
+    print(
+        format_table(
+            ["link", "samples", "true loss", "estimate", "abs err", "95% CI"],
+            rows,
+            title="Per-link frame-loss estimates (links with >= 50 samples)",
+            precision=3,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro — a reproduction of Dophy (Cao et al., ICPP 2015).
+
+Fine-grained loss tomography for dynamic wireless sensor networks:
+per-hop retransmission counts are arithmetic-coded into compact packet
+annotations, from which the sink estimates every link's loss ratio.
+
+Subpackages
+-----------
+``repro.coding``
+    Entropy-coding substrate (bit I/O, arithmetic coder, baseline codes).
+``repro.net``
+    Discrete-event WSN simulator (topology, links, ARQ MAC, CTP-style
+    dynamic routing).
+``repro.core``
+    Dophy itself: annotation encoder/decoder, symbol aggregation,
+    probability-model management, per-link loss estimator.
+``repro.tomography``
+    Classical loss-tomography baselines (tree MLE, linear, EM, direct
+    path measurement).
+``repro.analysis``
+    Accuracy metrics and overhead accounting.
+``repro.workloads``
+    Reproducible evaluation scenarios and sweep runners.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

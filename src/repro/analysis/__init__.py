@@ -1,0 +1,37 @@
+"""Accuracy metrics and overhead accounting for estimator comparisons."""
+
+from repro.analysis.metrics import (
+    AccuracyReport,
+    compare_estimates,
+    error_cdf,
+    mean_absolute_error,
+    quantile_error,
+    root_mean_square_error,
+)
+from repro.analysis.energy import EnergyReport, RadioEnergyModel, energy_report
+from repro.analysis.detection import (
+    DetectionReport,
+    bad_links_from_truth,
+    detection_metrics,
+)
+from repro.analysis.overhead import OverheadSummary, summarize_overhead
+from repro.analysis.timeseries import EvaluationPoint, PeriodicEvaluator
+
+__all__ = [
+    "EnergyReport",
+    "RadioEnergyModel",
+    "energy_report",
+    "DetectionReport",
+    "bad_links_from_truth",
+    "detection_metrics",
+    "EvaluationPoint",
+    "PeriodicEvaluator",
+    "AccuracyReport",
+    "compare_estimates",
+    "error_cdf",
+    "mean_absolute_error",
+    "quantile_error",
+    "root_mean_square_error",
+    "OverheadSummary",
+    "summarize_overhead",
+]

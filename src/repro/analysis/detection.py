@@ -1,0 +1,91 @@
+"""Bad-link detection metrics (precision / recall / F1).
+
+Scores a set of *flagged* links against the ground-truth set of links
+whose realized loss exceeds a threshold — the evaluation axis Boolean
+tomography and operational monitoring care about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.utils.validation import check_probability
+
+__all__ = ["DetectionReport", "detection_metrics", "bad_links_from_truth"]
+
+Link = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Confusion-matrix summary of a bad-link detector."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        total = (
+            self.true_positives
+            + self.false_positives
+            + self.false_negatives
+            + self.true_negatives
+        )
+        return (self.true_positives + self.true_negatives) / total if total else 1.0
+
+
+def bad_links_from_truth(
+    truth: Dict[Link, float], loss_threshold: float
+) -> Set[Link]:
+    """Links whose ground-truth loss exceeds the threshold."""
+    check_probability(loss_threshold, "loss_threshold")
+    return {link for link, loss in truth.items() if loss > loss_threshold}
+
+
+def detection_metrics(
+    flagged: Iterable[Link],
+    truth: Dict[Link, float],
+    *,
+    loss_threshold: float,
+    universe: Iterable[Link] | None = None,
+) -> DetectionReport:
+    """Score ``flagged`` against truth over ``universe`` (default: truth's links).
+
+    Flags outside the universe are counted as false positives (claiming a
+    link nobody used is still a wrong claim).
+    """
+    flagged_set = set(flagged)
+    links = set(universe) if universe is not None else set(truth.keys())
+    links |= flagged_set
+    bad = bad_links_from_truth(truth, loss_threshold)
+    tp = fp = fn = tn = 0
+    for link in links:
+        is_bad = link in bad
+        is_flagged = link in flagged_set
+        if is_bad and is_flagged:
+            tp += 1
+        elif is_bad:
+            fn += 1
+        elif is_flagged:
+            fp += 1
+        else:
+            tn += 1
+    return DetectionReport(tp, fp, fn, tn)

@@ -1,0 +1,82 @@
+"""Overhead accounting: what a measurement approach costs the network.
+
+All approaches in this package report their costs as exact bit counts:
+per-packet annotation bits (Dophy, path measurement) and control-plane
+bits (Dophy's model dissemination, the classical methods' topology
+snapshots). :func:`summarize_overhead` normalizes them into the figures
+the paper's overhead plots use — mean bytes per packet, bits per hop,
+and overhead relative to a typical data payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+__all__ = ["OverheadSummary", "summarize_overhead"]
+
+#: TinyOS CTP data frames commonly carry ~28 bytes of payload+headers;
+#: used to express annotation overhead as a fraction of the frame.
+DEFAULT_FRAME_PAYLOAD_BITS = 28 * 8
+
+
+class _ReportLike(Protocol):
+    """Duck type shared by DophyReport and PathMeasurementReport."""
+
+    annotation_bits: List[int]
+    annotation_hops: List[int]
+
+
+@dataclass(frozen=True)
+class OverheadSummary:
+    """Normalized overhead figures for one method on one run."""
+
+    method: str
+    packets: int
+    total_annotation_bits: int
+    control_bits: int
+    mean_bits_per_packet: float
+    p95_bits_per_packet: float
+    mean_bits_per_hop: float
+    #: Annotation size as a fraction of a typical data frame.
+    frame_fraction: float
+
+    @property
+    def total_bits(self) -> int:
+        return self.total_annotation_bits + self.control_bits
+
+    @property
+    def mean_bytes_per_packet(self) -> float:
+        return self.mean_bits_per_packet / 8.0
+
+
+def summarize_overhead(
+    report: _ReportLike,
+    *,
+    method: str = "",
+    control_bits: int = 0,
+    frame_payload_bits: int = DEFAULT_FRAME_PAYLOAD_BITS,
+) -> OverheadSummary:
+    """Build an :class:`OverheadSummary` from a measurement report."""
+    bits: Sequence[int] = report.annotation_bits
+    hops: Sequence[int] = report.annotation_hops
+    packets = len(bits)
+    total = sum(bits)
+    total_hops = sum(hops)
+    if packets:
+        sorted_bits = sorted(bits)
+        p95 = float(sorted_bits[min(packets - 1, int(0.95 * packets))])
+        mean_pkt = total / packets
+    else:
+        p95 = 0.0
+        mean_pkt = 0.0
+    return OverheadSummary(
+        method=method,
+        packets=packets,
+        total_annotation_bits=total,
+        control_bits=control_bits,
+        mean_bits_per_packet=mean_pkt,
+        p95_bits_per_packet=p95,
+        mean_bits_per_hop=(total / total_hops) if total_hops else 0.0,
+        frame_fraction=(mean_pkt / frame_payload_bits) if frame_payload_bits else 0.0,
+    )

@@ -1,0 +1,119 @@
+"""In-run evaluation time series.
+
+:class:`PeriodicEvaluator` is a simulation observer that, every
+``period`` seconds, snapshots the estimates of a set of measurement
+approaches and scores them against the ground truth accumulated *so
+far* — producing the convergence curves (accuracy vs elapsed time)
+within a single run, rather than across runs of different lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.metrics import compare_estimates
+from repro.net.simulation import CollectionSimulation, NullObserver
+from repro.utils.validation import check_positive
+
+__all__ = ["EvaluationPoint", "PeriodicEvaluator"]
+
+Link = Tuple[int, int]
+#: Supplies {link: loss} estimates on demand (e.g. lambda: dophy-derived map).
+EstimateSource = Callable[[], Dict[Link, float]]
+
+
+@dataclass(frozen=True)
+class EvaluationPoint:
+    """One snapshot of one method's accuracy."""
+
+    time: float
+    method: str
+    mae: Optional[float]
+    p90: Optional[float]
+    links_compared: int
+    coverage: float
+
+
+class PeriodicEvaluator(NullObserver):
+    """Scores registered estimate sources on a fixed schedule."""
+
+    def __init__(self, period: float, *, truth_kind: str = "empirical",
+                 min_support: int = 0):
+        check_positive(period, "period")
+        self.period = period
+        self.truth_kind = truth_kind
+        self.min_support = min_support
+        self._sources: Dict[str, EstimateSource] = {}
+        self._supports: Dict[str, Optional[Callable[[], Dict[Link, int]]]] = {}
+        self._simulation: Optional[CollectionSimulation] = None
+        self.history: List[EvaluationPoint] = []
+
+    def add_source(
+        self,
+        name: str,
+        source: EstimateSource,
+        support: Optional[Callable[[], Dict[Link, int]]] = None,
+    ) -> None:
+        """Register an estimate provider under ``name``.
+
+        ``support`` optionally provides per-link sample counts for
+        ``min_support`` filtering.
+        """
+        if name in self._sources:
+            raise ValueError(f"source {name!r} already registered")
+        self._sources[name] = source
+        self._supports[name] = support
+
+    def add_dophy(self, name: str, dophy) -> None:
+        """Convenience: register a :class:`DophySystem`'s live estimates."""
+        self.add_source(
+            name,
+            lambda: {l: e.loss for l, e in dophy.estimator.estimates().items()},
+            lambda: {l: dophy.estimator.n_samples(l) for l in dophy.estimator.links()},
+        )
+
+    # -- simulation wiring ------------------------------------------------------
+
+    def attach(self, simulation: CollectionSimulation) -> None:
+        self._simulation = simulation
+        simulation.sim.every(self.period, self._evaluate)
+
+    def _evaluate(self) -> None:
+        sim = self._simulation
+        assert sim is not None
+        now = sim.sim.now
+        truth = sim.ground_truth.true_loss_map(kind=self.truth_kind)
+        for name, source in self._sources.items():
+            estimates = source()
+            support_fn = self._supports[name]
+            report = compare_estimates(
+                estimates,
+                truth,
+                method=name,
+                min_support=self.min_support,
+                support=support_fn() if support_fn else None,
+            )
+            self.history.append(
+                EvaluationPoint(
+                    time=now,
+                    method=name,
+                    mae=report.mae,
+                    p90=report.p90_error,
+                    links_compared=report.n_links_compared,
+                    coverage=report.coverage,
+                )
+            )
+
+    # -- results ------------------------------------------------------------------
+
+    def curve(self, method: str) -> List[Tuple[float, Optional[float]]]:
+        """(time, MAE) series for one method."""
+        return [(p.time, p.mae) for p in self.history if p.method == method]
+
+    def methods(self) -> List[str]:
+        return sorted(self._sources.keys())
+
+    def final_point(self, method: str) -> Optional[EvaluationPoint]:
+        points = [p for p in self.history if p.method == method]
+        return points[-1] if points else None

@@ -1,0 +1,248 @@
+"""Command-line interface.
+
+Runs the standard scenarios without writing any Python::
+
+    python -m repro list-scenarios
+    python -m repro run --scenario dynamic_rgg --nodes 60 --seed 7
+    python -m repro compare --scenario dynamic_rgg --methods dophy,tree_ratio,em
+
+``run`` executes one Dophy deployment and prints the per-link loss
+estimates; ``compare`` attaches several measurement approaches to one
+shared run and prints the accuracy/overhead comparison table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core import DophyConfig, DophySystem
+from repro.workloads import (
+    ApproachSpec,
+    Scenario,
+    bursty_rgg_scenario,
+    dophy_approach,
+    huffman_dophy_approach,
+    drifting_line_scenario,
+    drifting_rgg_scenario,
+    dynamic_rgg_scenario,
+    em_approach,
+    failing_rgg_scenario,
+    interference_rgg_scenario,
+    format_table,
+    line_scenario,
+    linear_approach,
+    path_measurement_approach,
+    run_comparison,
+    static_grid_scenario,
+    static_rgg_scenario,
+    tree_ratio_approach,
+)
+
+__all__ = ["main", "build_parser", "SCENARIOS"]
+
+#: name -> (factory accepting common kwargs, description)
+SCENARIOS: Dict[str, Callable[..., Scenario]] = {
+    "line": line_scenario,
+    "static_grid": static_grid_scenario,
+    "static_rgg": static_rgg_scenario,
+    "dynamic_rgg": dynamic_rgg_scenario,
+    "bursty_rgg": bursty_rgg_scenario,
+    "drifting_rgg": drifting_rgg_scenario,
+    "drifting_line": drifting_line_scenario,
+    "failing_rgg": failing_rgg_scenario,
+    "interference_rgg": interference_rgg_scenario,
+}
+
+_METHOD_FACTORIES: Dict[str, Callable[[], ApproachSpec]] = {
+    "dophy": dophy_approach,
+    "dophy_huffman": huffman_dophy_approach,
+    "direct": path_measurement_approach,
+    "tree_ratio": tree_ratio_approach,
+    "linear": linear_approach,
+    "em": em_approach,
+}
+
+
+def _make_scenario(args: argparse.Namespace) -> Scenario:
+    factory = SCENARIOS[args.scenario]
+    kwargs = {}
+    if args.nodes is not None:
+        kwargs[
+            "num_nodes" if args.scenario not in ("static_grid",) else "rows"
+        ] = args.nodes
+    scenario = factory(**kwargs)
+    overrides = {}
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    if args.traffic_period is not None:
+        overrides["traffic_period"] = args.traffic_period
+    if overrides:
+        scenario = scenario.with_config(**overrides)
+    return scenario
+
+
+def _cmd_list_scenarios(_args: argparse.Namespace) -> int:
+    rows = []
+    for name, factory in SCENARIOS.items():
+        doc = (factory.__doc__ or "").strip().splitlines()[0]
+        rows.append([name, doc])
+    print(format_table(["scenario", "description"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = _make_scenario(args)
+    dophy = DophySystem(
+        DophyConfig(
+            aggregation_threshold=args.aggregation_threshold,
+            path_encoding=args.path_encoding,
+        )
+    )
+    sim = scenario.make_simulation(args.seed, [dophy])
+    result = sim.run()
+    report = dophy.report()
+    truth = result.ground_truth.true_loss_map(kind="empirical")
+    print(
+        f"scenario {scenario.name}: {result.topology.num_nodes} nodes, "
+        f"{result.ground_truth.packets_generated} packets, "
+        f"delivery {result.delivery_ratio:.1%}, "
+        f"churn {result.churn_rate * 60:.2f} changes/node/min"
+    )
+    print(
+        f"dophy: {report.packets_decoded} annotations, "
+        f"{report.mean_annotation_bits:.1f} bits/pkt "
+        f"({report.mean_bits_per_hop:.1f} bits/hop), "
+        f"{report.model_updates} model updates, "
+        f"{report.decode_failures} decode failures"
+    )
+    rows = []
+    for link, est in sorted(report.estimates.items()):
+        if est.n_samples < args.min_samples:
+            continue
+        rows.append(
+            [
+                f"{link[0]}->{link[1]}",
+                est.n_samples,
+                est.loss,
+                truth.get(link),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["link", "samples", "estimated loss", "empirical truth"],
+            rows,
+            title=f"Per-link estimates (>= {args.min_samples} samples)",
+            precision=3,
+        )
+    )
+    if args.save_trace:
+        from repro.net.tracefile import save_trace
+
+        path = save_trace(result, args.save_trace)
+        print(f"\ntrace written to {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    scenario = _make_scenario(args)
+    names = [m.strip() for m in args.methods.split(",") if m.strip()]
+    unknown = [m for m in names if m not in _METHOD_FACTORIES]
+    if unknown:
+        print(
+            f"unknown methods: {', '.join(unknown)} "
+            f"(choose from {', '.join(_METHOD_FACTORIES)})",
+            file=sys.stderr,
+        )
+        return 2
+    approaches = [_METHOD_FACTORIES[m]() for m in names]
+    rows_by_name, result = run_comparison(
+        scenario, approaches, seed=args.seed, min_support=args.min_samples
+    )
+    rows = []
+    for name in names:
+        r = rows_by_name[name]
+        rows.append(
+            [
+                name,
+                r.accuracy.mae,
+                r.accuracy.p90_error,
+                f"{r.accuracy.coverage:.0%}",
+                r.overhead.mean_bits_per_packet,
+                r.overhead.control_bits / 1000.0,
+            ]
+        )
+    print(
+        format_table(
+            ["method", "MAE", "p90 err", "coverage", "bits/pkt", "control kbits"],
+            rows,
+            title=(
+                f"{scenario.name}: delivery {result.delivery_ratio:.1%}, "
+                f"churn {result.churn_rate * 60:.2f} changes/node/min"
+            ),
+            precision=4,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dophy loss tomography — run scenarios and comparisons.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-scenarios", help="list the available scenarios")
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--scenario", choices=sorted(SCENARIOS), default="dynamic_rgg"
+        )
+        p.add_argument("--nodes", type=int, default=None, help="network size")
+        p.add_argument("--duration", type=float, default=None, help="seconds")
+        p.add_argument("--traffic-period", type=float, default=None)
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument(
+            "--min-samples",
+            type=int,
+            default=30,
+            help="only report links with at least this many observations",
+        )
+
+    run_p = sub.add_parser("run", help="run Dophy on a scenario")
+    add_common(run_p)
+    run_p.add_argument("--aggregation-threshold", type=int, default=3)
+    run_p.add_argument(
+        "--path-encoding",
+        choices=["explicit", "compressed", "assumed"],
+        default="explicit",
+    )
+    run_p.add_argument(
+        "--save-trace",
+        metavar="PATH",
+        default=None,
+        help="write the run's packet-level trace (JSONL) for offline replay",
+    )
+
+    cmp_p = sub.add_parser("compare", help="compare measurement approaches")
+    add_common(cmp_p)
+    cmp_p.add_argument(
+        "--methods",
+        default="dophy,tree_ratio,linear,em",
+        help="comma-separated subset of: " + ", ".join(_METHOD_FACTORIES),
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list-scenarios":
+        return _cmd_list_scenarios(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

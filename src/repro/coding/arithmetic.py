@@ -1,0 +1,222 @@
+"""Integer arithmetic coding (Witten–Neal–Cleary style, 32-bit registers).
+
+Dophy's annotation is an arithmetic codeword built *incrementally*: every
+forwarding node narrows the interval with its own retransmission-count
+symbol, and the codeword is finalized only when the packet reaches the
+sink. :class:`ArithmeticEncoder` therefore exposes exactly that life
+cycle — ``encode_symbol`` any number of times, ``copy`` to fork the
+in-flight state (for would-be-size probes), and ``finish`` once.
+
+The model argument is duck-typed: anything with ``interval(symbol) ->
+(cum_lo, cum_hi, total)`` and ``symbol_for(scaled) -> symbol`` works, so
+static :class:`~repro.coding.freq.FrequencyTable` and adaptive tables are
+interchangeable, and a *sequence* of models (one per hop position) can be
+used for context modelling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Tuple
+
+from repro.coding.bitio import BitReader, BitWriter
+
+__all__ = ["ArithmeticEncoder", "ArithmeticDecoder", "SymbolModel"]
+
+_CODE_BITS = 32
+_TOP = (1 << _CODE_BITS) - 1
+_HALF = 1 << (_CODE_BITS - 1)
+_QUARTER = 1 << (_CODE_BITS - 2)
+_THREE_QUARTERS = _HALF + _QUARTER
+#: Models whose total exceeds this cannot guarantee a non-empty interval
+#: for every symbol once the coder range shrinks to a quarter.
+MAX_MODEL_TOTAL = 1 << (_CODE_BITS - 2)
+
+
+class SymbolModel(Protocol):
+    """Structural interface every frequency model implements."""
+
+    @property
+    def total(self) -> int: ...
+
+    def interval(self, symbol: int) -> Tuple[int, int, int]: ...
+
+    def symbol_for(self, scaled_value: int) -> int: ...
+
+
+class ArithmeticEncoder:
+    """Incremental arithmetic encoder.
+
+    Bits are emitted into an internal :class:`BitWriter` as soon as they are
+    determined, so ``bit_length`` during encoding reflects the bits a packet
+    annotation already occupies in flight; ``finish()`` flushes the final
+    disambiguation bits and returns the complete stream.
+    """
+
+    def __init__(self) -> None:
+        self._low = 0
+        self._high = _TOP
+        self._pending = 0  # underflow bits awaiting the next resolved bit
+        self._writer = BitWriter()
+        self._finished = False
+        self._symbols_encoded = 0
+
+    # -- encoding ---------------------------------------------------------------
+
+    def encode_symbol(self, model: SymbolModel, symbol: int) -> None:
+        """Narrow the interval by ``symbol`` under ``model`` and emit resolved bits."""
+        if self._finished:
+            raise RuntimeError("encoder already finished")
+        cum_lo, cum_hi, total = model.interval(symbol)
+        if total > MAX_MODEL_TOTAL:
+            raise ValueError(
+                f"model total {total} exceeds coder precision limit {MAX_MODEL_TOTAL}"
+            )
+        if cum_lo >= cum_hi:
+            raise ValueError("symbol has empty interval (zero frequency)")
+        span = self._high - self._low + 1
+        self._high = self._low + (span * cum_hi) // total - 1
+        self._low = self._low + (span * cum_lo) // total
+        self._renormalize()
+        self._symbols_encoded += 1
+
+    def _renormalize(self) -> None:
+        while True:
+            if self._high < _HALF:
+                self._emit(0)
+            elif self._low >= _HALF:
+                self._emit(1)
+                self._low -= _HALF
+                self._high -= _HALF
+            elif self._low >= _QUARTER and self._high < _THREE_QUARTERS:
+                self._pending += 1
+                self._low -= _QUARTER
+                self._high -= _QUARTER
+            else:
+                break
+            self._low <<= 1
+            self._high = (self._high << 1) | 1
+
+    def _emit(self, bit: int) -> None:
+        self._writer.write_bit(bit)
+        inverse = 1 - bit
+        for _ in range(self._pending):
+            self._writer.write_bit(inverse)
+        self._pending = 0
+
+    def finish(self) -> Tuple[bytes, int]:
+        """Flush terminal bits; return ``(payload_bytes, exact_bit_length)``."""
+        if self._finished:
+            raise RuntimeError("encoder already finished")
+        self._finished = True
+        # Two final bits pin the codeword inside [low, high].
+        self._pending += 1
+        if self._low < _QUARTER:
+            self._emit(0)
+        else:
+            self._emit(1)
+        return self._writer.getvalue(), self._writer.bit_length
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def bit_length(self) -> int:
+        """Bits already emitted (excludes pending/terminal bits)."""
+        return self._writer.bit_length
+
+    @property
+    def symbols_encoded(self) -> int:
+        return self._symbols_encoded
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def finalized_bit_length(self) -> int:
+        """Exact length the stream would have if finished now (non-destructive)."""
+        if self._finished:
+            return self._writer.bit_length
+        return self.copy().finish()[1]
+
+    def copy(self) -> "ArithmeticEncoder":
+        """Deep copy of the in-flight coder state (used when packets fork/probe)."""
+        clone = ArithmeticEncoder.__new__(ArithmeticEncoder)
+        clone._low = self._low
+        clone._high = self._high
+        clone._pending = self._pending
+        clone._writer = self._writer.copy()
+        clone._finished = self._finished
+        clone._symbols_encoded = self._symbols_encoded
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ArithmeticEncoder(symbols={self._symbols_encoded},"
+            f" bits={self._writer.bit_length}, finished={self._finished})"
+        )
+
+
+class ArithmeticDecoder:
+    """Decoder counterpart; decodes symbols in encode order given the same models."""
+
+    def __init__(self, data: bytes, bit_length: Optional[int] = None) -> None:
+        self._reader = BitReader(data, bit_length)
+        self._low = 0
+        self._high = _TOP
+        self._value = 0
+        for _ in range(_CODE_BITS):
+            self._value = (self._value << 1) | self._reader.read_bit()
+        self._symbols_decoded = 0
+
+    @classmethod
+    def from_encoder_output(cls, payload: Tuple[bytes, int]) -> "ArithmeticDecoder":
+        """Convenience: build from the tuple :meth:`ArithmeticEncoder.finish` returns."""
+        data, bit_length = payload
+        return cls(data, bit_length)
+
+    def decode_symbol(self, model: SymbolModel) -> int:
+        """Decode and return the next symbol under ``model``."""
+        total = model.total
+        if total > MAX_MODEL_TOTAL:
+            raise ValueError(
+                f"model total {total} exceeds coder precision limit {MAX_MODEL_TOTAL}"
+            )
+        span = self._high - self._low + 1
+        scaled = ((self._value - self._low + 1) * total - 1) // span
+        symbol = model.symbol_for(scaled)
+        cum_lo, cum_hi, total = model.interval(symbol)
+        self._high = self._low + (span * cum_hi) // total - 1
+        self._low = self._low + (span * cum_lo) // total
+        self._renormalize()
+        self._symbols_decoded += 1
+        return symbol
+
+    def decode_sequence(self, model: SymbolModel, count: int) -> List[int]:
+        """Decode ``count`` symbols under a single shared model."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        return [self.decode_symbol(model) for _ in range(count)]
+
+    def _renormalize(self) -> None:
+        while True:
+            if self._high < _HALF:
+                pass
+            elif self._low >= _HALF:
+                self._low -= _HALF
+                self._high -= _HALF
+                self._value -= _HALF
+            elif self._low >= _QUARTER and self._high < _THREE_QUARTERS:
+                self._low -= _QUARTER
+                self._high -= _QUARTER
+                self._value -= _QUARTER
+            else:
+                break
+            self._low <<= 1
+            self._high = (self._high << 1) | 1
+            self._value = (self._value << 1) | self._reader.read_bit()
+
+    @property
+    def symbols_decoded(self) -> int:
+        return self._symbols_decoded
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ArithmeticDecoder(symbols={self._symbols_decoded})"

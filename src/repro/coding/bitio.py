@@ -1,0 +1,172 @@
+"""Bit-level writer/reader primitives.
+
+All entropy coders in :mod:`repro.coding` produce and consume streams of
+individual bits. ``BitWriter`` accumulates bits most-significant-first into
+a byte buffer; ``BitReader`` replays them in the same order. Both track the
+exact bit length, which the overhead-accounting layer reports (a packet
+annotation of 13 bits costs 13 bits in our accounting, even though a real
+radio would pad to 2 bytes — byte-padded figures are derived views).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+__all__ = ["BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Accumulates bits (MSB-first within each byte) into a growable buffer."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._current = 0  # partial byte being filled
+        self._nbits_in_current = 0
+        self._total_bits = 0
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        self._current = (self._current << 1) | bit
+        self._nbits_in_current += 1
+        self._total_bits += 1
+        if self._nbits_in_current == 8:
+            self._bytes.append(self._current)
+            self._current = 0
+            self._nbits_in_current = 0
+
+    def write_bits(self, bits: Iterable[int]) -> None:
+        """Append each bit from ``bits`` in order."""
+        for bit in bits:
+            self.write_bit(bit)
+
+    def write_uint(self, value: int, width: int) -> None:
+        """Append ``value`` as a big-endian unsigned integer of ``width`` bits."""
+        if width < 0:
+            raise ValueError("width must be >= 0")
+        if value < 0 or (width < value.bit_length()):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_unary(self, value: int) -> None:
+        """Append ``value`` ones followed by a terminating zero."""
+        if value < 0:
+            raise ValueError("unary value must be >= 0")
+        for _ in range(value):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return self._total_bits
+
+    @property
+    def byte_length(self) -> int:
+        """Bytes needed to hold the stream (last byte zero-padded)."""
+        return (self._total_bits + 7) // 8
+
+    def getvalue(self) -> bytes:
+        """Return the stream as bytes, zero-padding the trailing partial byte."""
+        out = bytearray(self._bytes)
+        if self._nbits_in_current:
+            out.append(self._current << (8 - self._nbits_in_current))
+        return bytes(out)
+
+    def to_bits(self) -> List[int]:
+        """Return the exact bit sequence written (no padding)."""
+        bits: List[int] = []
+        for byte in self._bytes:
+            for shift in range(7, -1, -1):
+                bits.append((byte >> shift) & 1)
+        for shift in range(self._nbits_in_current - 1, -1, -1):
+            bits.append((self._current >> shift) & 1)
+        return bits
+
+    def copy(self) -> "BitWriter":
+        """Deep copy — used when an in-flight encoder state must be forked."""
+        clone = BitWriter.__new__(BitWriter)
+        clone._bytes = bytearray(self._bytes)
+        clone._current = self._current
+        clone._nbits_in_current = self._nbits_in_current
+        clone._total_bits = self._total_bits
+        return clone
+
+    def __len__(self) -> int:
+        return self._total_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BitWriter(bits={self._total_bits})"
+
+
+class BitReader:
+    """Replays a bit stream produced by :class:`BitWriter`.
+
+    Reading past the end returns 0 bits. Arithmetic decoding legitimately
+    reads a few bits past the encoded payload (the decoder register is
+    refilled beyond the final symbol), so this mirrors the classic
+    implementation convention rather than raising.
+    """
+
+    def __init__(self, data: bytes, bit_length: int | None = None) -> None:
+        self._data = bytes(data)
+        self._bit_length = 8 * len(self._data) if bit_length is None else bit_length
+        if self._bit_length > 8 * len(self._data):
+            raise ValueError("bit_length exceeds available data")
+        self._pos = 0
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[int]) -> "BitReader":
+        """Build a reader directly from a sequence of bits."""
+        writer = BitWriter()
+        writer.write_bits(bits)
+        return cls(writer.getvalue(), writer.bit_length)
+
+    def read_bit(self) -> int:
+        """Return the next bit, or 0 once the stream is exhausted."""
+        if self._pos >= self._bit_length:
+            self._pos += 1
+            return 0
+        byte = self._data[self._pos // 8]
+        bit = (byte >> (7 - (self._pos % 8))) & 1
+        self._pos += 1
+        return bit
+
+    def read_uint(self, width: int) -> int:
+        """Read ``width`` bits as a big-endian unsigned integer."""
+        if width < 0:
+            raise ValueError("width must be >= 0")
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self) -> int:
+        """Read a unary-coded value (count of 1s before the first 0)."""
+        count = 0
+        while True:
+            bit = self.read_bit()
+            if bit == 0:
+                return count
+            count += 1
+            if count > self._bit_length + 1:
+                raise ValueError("malformed unary code: no terminator found")
+
+    @property
+    def bits_consumed(self) -> int:
+        """Bits read so far (may exceed the stream length for arithmetic decode)."""
+        return self._pos
+
+    @property
+    def bits_remaining(self) -> int:
+        """Bits left before the reader starts returning padding zeros."""
+        return max(0, self._bit_length - self._pos)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= self._bit_length
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BitReader(pos={self._pos}, bit_length={self._bit_length})"

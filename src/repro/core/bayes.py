@@ -1,0 +1,210 @@
+"""Bayesian per-link loss estimation (extension).
+
+The MLE in :mod:`repro.core.estimator` is unstable on links with a
+handful of samples — exactly the links a dynamic network produces in
+abundance (parents visited briefly during churn). A Beta prior over the
+loss ratio fixes that: with geometric evidence the model is conjugate
+(posterior ``Beta(a + sum(retx), b + n)`` when truncation is ignored),
+and a numeric grid posterior handles the truncated/censored cases the
+MAC cap introduces.
+
+:meth:`BayesianLinkEstimator.fit_prior_empirical_bayes` pools the whole
+network's evidence into the prior (method of moments on the per-link
+posterior means), so sparsely-observed links shrink toward the
+network-wide loss profile instead of toward an arbitrary constant.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.decoder import DecodedAnnotation
+from repro.utils.validation import check_positive
+
+__all__ = ["BayesianLinkEstimate", "BayesianLinkEstimator"]
+
+Link = Tuple[int, int]
+
+#: Grid used for the non-conjugate (truncated/censored) posterior.
+_GRID = np.linspace(1e-4, 1.0 - 1e-4, 512)
+
+
+@dataclass(frozen=True)
+class BayesianLinkEstimate:
+    """Posterior summary for one link's loss ratio."""
+
+    link: Link
+    posterior_mean: float
+    credible_low: float
+    credible_high: float
+    n_samples: int
+
+    @property
+    def credible_interval(self) -> Tuple[float, float]:
+        return (self.credible_low, self.credible_high)
+
+
+class _Evidence:
+    __slots__ = ("n_exact", "sum_retx", "censored")
+
+    def __init__(self) -> None:
+        self.n_exact = 0
+        self.sum_retx = 0
+        self.censored: List[Tuple[int, int]] = []  # (retx_lo, retx_hi)
+
+
+class BayesianLinkEstimator:
+    """Beta-prior posterior inference over per-link frame loss."""
+
+    def __init__(
+        self,
+        max_attempts: int,
+        *,
+        prior_alpha: float = 1.0,
+        prior_beta: float = 4.0,
+        truncation_correction: bool = True,
+    ):
+        """Default prior Beta(1, 4): mean loss 20%, weakly informative."""
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        check_positive(prior_alpha, "prior_alpha")
+        check_positive(prior_beta, "prior_beta")
+        self.max_attempts = max_attempts
+        self.prior_alpha = prior_alpha
+        self.prior_beta = prior_beta
+        self.truncation_correction = truncation_correction
+        self._evidence: Dict[Link, _Evidence] = defaultdict(_Evidence)
+
+    # -- feeding ----------------------------------------------------------------
+
+    def add_exact(self, link: Link, retx_count: int) -> None:
+        if not 0 <= retx_count <= self.max_attempts - 1:
+            raise ValueError(f"retx_count {retx_count} out of range")
+        ev = self._evidence[link]
+        ev.n_exact += 1
+        ev.sum_retx += retx_count
+
+    def add_censored(self, link: Link, retx_lo: int, retx_hi: int) -> None:
+        if not 0 <= retx_lo <= retx_hi <= self.max_attempts - 1:
+            raise ValueError(f"censored bounds [{retx_lo}, {retx_hi}] invalid")
+        self._evidence[link].censored.append((retx_lo, retx_hi))
+
+    def add_decoded(self, decoded: DecodedAnnotation, time: float = 0.0) -> None:
+        for hop in decoded.hops:
+            if hop.exact:
+                self.add_exact(hop.link, hop.retx_count)  # type: ignore[arg-type]
+            else:
+                lo, hi = hop.retx_bounds
+                self.add_censored(hop.link, lo, min(hi, self.max_attempts - 1))
+
+    # -- posterior ----------------------------------------------------------------
+
+    def _needs_grid(self, ev: _Evidence) -> bool:
+        return bool(ev.censored) or self.truncation_correction
+
+    def _log_posterior_grid(self, ev: _Evidence) -> np.ndarray:
+        p = _GRID
+        log_post = (
+            (self.prior_alpha - 1.0) * np.log(p)
+            + (self.prior_beta - 1.0) * np.log1p(-p)
+        )
+        # Exact evidence: sum over samples of log((1-p) p^retx).
+        log_post += ev.n_exact * np.log1p(-p) + ev.sum_retx * np.log(p)
+        # Censored evidence: P(lo <= retx <= hi) = p^lo - p^(hi+1).
+        for lo, hi in ev.censored:
+            log_post += np.log(np.maximum(p**lo - p ** (hi + 1), 1e-300))
+        if self.truncation_correction:
+            n = ev.n_exact + len(ev.censored)
+            log_post -= n * np.log(np.maximum(1.0 - p**self.max_attempts, 1e-300))
+        return log_post
+
+    def estimate(
+        self, link: Link, *, credible_level: float = 0.95
+    ) -> Optional[BayesianLinkEstimate]:
+        """Posterior summary; None only if the link was never fed.
+
+        (Unlike the MLE, a zero-sample link still has a prior — but
+        reporting pure priors as measurements would be misleading, so the
+        estimator requires at least one observation.)
+        """
+        ev = self._evidence.get(link)
+        if ev is None or (ev.n_exact + len(ev.censored)) == 0:
+            return None
+        n = ev.n_exact + len(ev.censored)
+        if not self._needs_grid(ev):
+            # Conjugate: Beta(alpha + sum_retx, beta + n_exact).
+            a = self.prior_alpha + ev.sum_retx
+            b = self.prior_beta + ev.n_exact
+            mean = a / (a + b)
+            from scipy import stats
+
+            tail = (1.0 - credible_level) / 2.0
+            lo, hi = stats.beta.ppf([tail, 1.0 - tail], a, b)
+            return BayesianLinkEstimate(link, float(mean), float(lo), float(hi), n)
+        log_post = self._log_posterior_grid(ev)
+        log_post -= log_post.max()
+        weights = np.exp(log_post)
+        weights /= weights.sum()
+        mean = float(np.dot(weights, _GRID))
+        cdf = np.cumsum(weights)
+        tail = (1.0 - credible_level) / 2.0
+        lo = float(_GRID[int(np.searchsorted(cdf, tail))])
+        hi = float(_GRID[min(len(_GRID) - 1, int(np.searchsorted(cdf, 1.0 - tail)))])
+        return BayesianLinkEstimate(link, mean, lo, hi, n)
+
+    def estimates(self, *, credible_level: float = 0.95) -> Dict[Link, BayesianLinkEstimate]:
+        out: Dict[Link, BayesianLinkEstimate] = {}
+        for link in sorted(self._evidence):
+            est = self.estimate(link, credible_level=credible_level)
+            if est is not None:
+                out[link] = est
+        return out
+
+    def links(self) -> List[Link]:
+        return sorted(self._evidence.keys())
+
+    def n_samples(self, link: Link) -> int:
+        ev = self._evidence.get(link)
+        return 0 if ev is None else ev.n_exact + len(ev.censored)
+
+    # -- empirical Bayes ---------------------------------------------------------------
+
+    def fit_prior_empirical_bayes(self, *, min_samples: int = 30) -> Tuple[float, float]:
+        """Re-fit the prior to the well-observed links (method of moments).
+
+        Uses per-link posterior means of links with >= ``min_samples``
+        observations under the current prior; matches a Beta to their mean
+        and variance. Returns the new (alpha, beta) and installs them.
+        """
+        means = [
+            est.posterior_mean
+            for link, est in self.estimates().items()
+            if est.n_samples >= min_samples
+        ]
+        if len(means) < 3:
+            return (self.prior_alpha, self.prior_beta)
+        m = float(np.mean(means))
+        v = float(np.var(means))
+        m = min(max(m, 1e-3), 1 - 1e-3)
+        v = max(v, 1e-6)
+        common = m * (1.0 - m) / v - 1.0
+        if common <= 0:
+            return (self.prior_alpha, self.prior_beta)
+        alpha, beta = max(0.05, m * common), max(0.05, (1.0 - m) * common)
+        # Cap prior strength so it informs but never drowns real evidence.
+        strength = alpha + beta
+        if strength > 20.0:
+            alpha, beta = 20.0 * alpha / strength, 20.0 * beta / strength
+        self.prior_alpha, self.prior_beta = alpha, beta
+        return (alpha, beta)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BayesianLinkEstimator(prior=Beta({self.prior_alpha:.2f},"
+            f" {self.prior_beta:.2f}), links={len(self._evidence)})"
+        )

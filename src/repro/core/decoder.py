@@ -1,0 +1,174 @@
+"""Sink-side decoding of Dophy annotations.
+
+Inverts the wire format documented in :mod:`repro.core.annotation`:
+header → path ids → single arithmetic stream in which escape extras are
+bypass-coded inline. The result is the per-link retransmission evidence
+the estimator consumes — for each traversed link either an exact count
+or, in censored mode for escaped symbols, a ``count >= K`` interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.coding.arithmetic import ArithmeticDecoder
+from repro.coding.baseline_codes import EliasGammaCode
+from repro.coding.bitio import BitReader, BitWriter
+from repro.core.annotation import BYPASS_MODEL, AnnotationCodec
+from repro.core.symbols import SymbolSet
+
+__all__ = ["AnnotationDecodeError", "DecodedHop", "DecodedAnnotation", "decode_annotation"]
+
+_GAMMA = EliasGammaCode()
+
+
+class AnnotationDecodeError(Exception):
+    """The annotation bits are inconsistent with the expected format."""
+
+
+@dataclass(frozen=True)
+class DecodedHop:
+    """One hop's evidence recovered at the sink."""
+
+    link: Tuple[int, int]
+    #: Exact retransmission count, when known.
+    retx_count: Optional[int]
+    #: Inclusive bounds when only an interval is known (censored escape).
+    retx_bounds: Tuple[int, int]
+
+    @property
+    def exact(self) -> bool:
+        return self.retx_count is not None
+
+
+@dataclass(frozen=True)
+class DecodedAnnotation:
+    """Full decode result for one delivered packet."""
+
+    epoch: int
+    path: List[int]
+    hops: List[DecodedHop]
+    symbols: List[int]
+    wire_bits: int
+
+
+def _decode_bypass_gamma(arith: ArithmeticDecoder, *, max_zeros: int = 64) -> int:
+    """Read one Elias-gamma value whose bits are bypass-coded in the stream."""
+    zeros = 0
+    while True:
+        bit = arith.decode_symbol(BYPASS_MODEL)
+        if bit == 1:
+            break
+        zeros += 1
+        if zeros > max_zeros:
+            raise AnnotationDecodeError("malformed bypass gamma code")
+    n = 1
+    for _ in range(zeros):
+        n = (n << 1) | arith.decode_symbol(BYPASS_MODEL)
+    return n - 1
+
+
+def decode_annotation(
+    data: bytes,
+    bit_length: int,
+    codec: AnnotationCodec,
+    *,
+    origin: int,
+    sink: int,
+    assumed_path: Optional[List[int]] = None,
+) -> DecodedAnnotation:
+    """Decode one annotation delivered by a packet from ``origin``.
+
+    ``assumed_path`` supplies the node sequence when the codec runs in
+    ``"assumed"`` path mode (the sink is presumed to learn paths out of
+    band); it must be the full path origin..sink.
+    """
+    reader = BitReader(data, bit_length)
+    models = codec.models
+    if bit_length < models.epoch_field_bits + 1:
+        raise AnnotationDecodeError(
+            f"annotation shorter than its header ({bit_length} bits)"
+        )
+    epoch_field = reader.read_uint(models.epoch_field_bits)
+    try:
+        hop_count = _GAMMA.decode_value(reader)
+    except ValueError as exc:
+        raise AnnotationDecodeError(f"bad hop-count field: {exc}") from exc
+    try:
+        epoch = models.resolve_epoch_field(epoch_field)
+        models.table(epoch)  # raises if the epoch's tables expired
+    except KeyError as exc:
+        raise AnnotationDecodeError(str(exc)) from exc
+
+    # A corrupted gamma field can claim an absurd hop count; reject it
+    # before looping (each hop needs at least one payload bit somewhere).
+    if hop_count > bit_length:
+        raise AnnotationDecodeError(
+            f"hop count {hop_count} impossible for a {bit_length}-bit annotation"
+        )
+
+    # Path section (compressed mode reconstructs the path in-stream below).
+    mode = codec.config.path_encoding
+    path: List[int]
+    if mode == "explicit":
+        if hop_count * codec.node_id_bits > reader.bits_remaining:
+            raise AnnotationDecodeError("annotation truncated inside path section")
+        path = [origin]
+        for _ in range(hop_count):
+            path.append(reader.read_uint(codec.node_id_bits))
+    elif mode == "assumed":
+        if assumed_path is None:
+            raise AnnotationDecodeError("assumed path mode requires assumed_path")
+        if len(assumed_path) != hop_count + 1:
+            raise AnnotationDecodeError(
+                f"assumed path length {len(assumed_path)} != hop_count+1 ({hop_count + 1})"
+            )
+        path = list(assumed_path)
+    else:  # compressed
+        path = [origin]
+
+    # Arithmetic section: everything that remains.
+    payload = BitWriter()
+    while reader.bits_remaining > 0:
+        payload.write_bit(reader.read_bit())
+    arith = ArithmeticDecoder(payload.getvalue(), payload.bit_length)
+    symbol_set: SymbolSet = models.symbol_set_for(epoch)
+
+    hops: List[DecodedHop] = []
+    symbols: List[int] = []
+    for i in range(hop_count):
+        if mode == "compressed":
+            rank = arith.decode_symbol(codec.path_model.table)
+            try:
+                path.append(codec.path_model.neighbor_at(path[-1], rank))
+            except ValueError as exc:
+                raise AnnotationDecodeError(str(exc)) from exc
+        link = (path[i], path[i + 1])
+        table = models.table_for_link(epoch, link)
+        symbol = arith.decode_symbol(table)
+        if not 0 <= symbol < symbol_set.num_symbols:
+            raise AnnotationDecodeError("decoded symbol out of alphabet")
+        symbols.append(symbol)
+        if symbol_set.is_escape(symbol):
+            if codec.config.escape_mode == "exact":
+                extra = _decode_bypass_gamma(arith)
+                try:
+                    count = symbol_set.from_symbol(symbol, extra)
+                except ValueError as exc:
+                    raise AnnotationDecodeError(str(exc)) from exc
+                hops.append(DecodedHop(link, count, (count, count)))
+            else:
+                lo, hi = symbol_set.symbol_counts_range(symbol)
+                hops.append(DecodedHop(link, None, (lo, hi)))
+        else:
+            count = symbol_set.from_symbol(symbol)
+            hops.append(DecodedHop(link, count, (count, count)))
+
+    if path[0] != origin:
+        raise AnnotationDecodeError("path does not start at the packet origin")
+    if hop_count > 0 and path[-1] != sink:
+        raise AnnotationDecodeError("path does not end at the sink")
+    return DecodedAnnotation(
+        epoch=epoch, path=path, hops=hops, symbols=symbols, wire_bits=bit_length
+    )

@@ -1,0 +1,241 @@
+"""DophySystem — the full protocol as a simulation observer.
+
+Wires the annotation codec, model manager and estimator into a
+:class:`~repro.net.simulation.CollectionSimulation`:
+
+* packet created  → attach a fresh annotation pinned to the current epoch;
+* hop delivered   → the receiver appends (node id, retx symbol);
+* packet at sink  → serialize → decode the real bits → feed the per-link
+  estimator and the model re-estimation stream;
+* on a schedule   → the sink publishes a new probability model
+  (dissemination bits are charged to the control plane).
+
+Model dissemination is idealized as instantaneous (every node encodes
+against the epoch pinned in the packet header, and the sink retains a
+window of recent epochs, so decode never desynchronizes); its *cost* is
+fully accounted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.annotation import AnnotationCodec, DophyAnnotation
+from repro.core.config import DophyConfig
+from repro.core.decoder import AnnotationDecodeError, decode_annotation
+from repro.core.estimator import LinkEstimate, PerLinkEstimator
+from repro.core.model import ModelManager
+from repro.core.path_codec import PathRankModel
+from repro.core.symbols import SymbolSet
+from repro.net.packet import Packet
+from repro.net.simulation import CollectionSimulation, NullObserver
+
+__all__ = ["DophySystem", "DophyReport"]
+
+
+@dataclass
+class DophyReport:
+    """Summary of what Dophy measured and what it cost."""
+
+    estimates: Dict[Tuple[int, int], LinkEstimate]
+    packets_decoded: int
+    decode_failures: int
+    #: Wire bits of every delivered annotation.
+    annotation_bits: List[int] = field(default_factory=list)
+    #: Hop counts of every delivered annotation (for bits-per-hop).
+    annotation_hops: List[int] = field(default_factory=list)
+    dissemination_bits: int = 0
+    model_updates: int = 0
+
+    @property
+    def total_annotation_bits(self) -> int:
+        return sum(self.annotation_bits)
+
+    @property
+    def mean_annotation_bits(self) -> float:
+        if not self.annotation_bits:
+            return 0.0
+        return sum(self.annotation_bits) / len(self.annotation_bits)
+
+    @property
+    def mean_bits_per_hop(self) -> float:
+        hops = sum(self.annotation_hops)
+        if hops == 0:
+            return 0.0
+        return sum(self.annotation_bits) / hops
+
+    @property
+    def total_overhead_bits(self) -> int:
+        """Annotations + control plane — the paper's overall overhead metric."""
+        return self.total_annotation_bits + self.dissemination_bits
+
+
+class DophySystem(NullObserver):
+    """Dophy wired into the collection simulation."""
+
+    def __init__(self, config: Optional[DophyConfig] = None):
+        self.config = config or DophyConfig()
+        # Populated on attach (needs topology/MAC facts).
+        self._codec: Optional[AnnotationCodec] = None
+        self._models: Optional[ModelManager] = None
+        self._estimator: Optional[PerLinkEstimator] = None
+        self._sink: Optional[int] = None
+        # Per-packet in-flight annotations, keyed by (origin, seqno). Kept
+        # internal (not on Packet.annotation) so multiple measurement
+        # observers can share one run without clobbering each other.
+        self._inflight: Dict[Tuple[int, int], DophyAnnotation] = {}
+        self._annotation_bits: List[int] = []
+        self._annotation_hops: List[int] = []
+        self._packets_decoded = 0
+        self._decode_failures = 0
+        self._attached = False
+        #: Callbacks fn(decoded, time) invoked for every decoded annotation —
+        #: e.g. a SlidingLinkEstimator's add_decoded for drift tracking.
+        self._decode_listeners: List = []
+
+    def add_decode_listener(self, listener) -> None:
+        """Register ``fn(decoded: DecodedAnnotation, time: float)``."""
+        if not callable(listener):
+            raise TypeError("listener must be callable")
+        self._decode_listeners.append(listener)
+
+    # -- simulation lifecycle -----------------------------------------------------
+
+    def attach(self, simulation: CollectionSimulation) -> None:
+        cfg = self.config
+        mac_max_retries = simulation.config.mac.max_retries
+        if cfg.max_count != mac_max_retries:
+            # Re-derive the symbol alphabet from the actual MAC cap so every
+            # possible count is encodable and none are wasted.
+            k = cfg.aggregation_threshold
+            if k is not None:
+                k = min(k, mac_max_retries) if mac_max_retries >= 1 else None
+            cfg = DophyConfig(
+                max_count=max(mac_max_retries, 0),
+                aggregation_threshold=k,
+                auto_aggregation=cfg.auto_aggregation,
+                escape_mode=cfg.escape_mode,
+                model_update_period=cfg.model_update_period,
+                estimation_window=cfg.estimation_window,
+                initial_expected_loss=cfg.initial_expected_loss,
+                path_encoding=cfg.path_encoding,
+                path_rank_decay=cfg.path_rank_decay,
+                table_precision=cfg.table_precision,
+                epoch_history=cfg.epoch_history,
+                bits_per_frequency=cfg.bits_per_frequency,
+                link_classes=cfg.link_classes,
+                dissemination_delay=cfg.dissemination_delay,
+            )
+            self.config = cfg
+        symbol_set = SymbolSet(cfg.max_count, cfg.aggregation_threshold)
+        self._models = ModelManager(
+            symbol_set,
+            initial_expected_loss=cfg.initial_expected_loss,
+            update_period=cfg.model_update_period,
+            estimation_window=cfg.estimation_window,
+            table_precision=cfg.table_precision,
+            epoch_history=cfg.epoch_history,
+            num_nodes_for_dissemination=simulation.topology.num_nodes,
+            bits_per_frequency=cfg.bits_per_frequency,
+            num_classes=cfg.link_classes,
+            activation_delay=cfg.dissemination_delay,
+            auto_aggregation=cfg.auto_aggregation,
+        )
+        path_model = (
+            PathRankModel(simulation.topology, rank_decay=cfg.path_rank_decay)
+            if cfg.path_encoding == "compressed"
+            else None
+        )
+        self._codec = AnnotationCodec(
+            cfg, self._models, simulation.topology.num_nodes, path_model
+        )
+        self._estimator = PerLinkEstimator(max_attempts=cfg.max_count + 1)
+        self._sink = simulation.topology.sink
+        self._attached = True
+        if cfg.model_update_period is not None:
+            simulation.sim.every(
+                cfg.model_update_period,
+                lambda: self._models.maybe_update(simulation.sim.now),
+            )
+
+    # -- packet lifecycle --------------------------------------------------------------
+
+    def on_packet_created(self, packet: Packet, time: float) -> None:
+        self._inflight[packet.key] = self._codec.new_annotation(time)
+
+    def on_hop_delivered(
+        self, packet: Packet, sender: int, receiver: int, first_attempt: int, time: float
+    ) -> None:
+        annotation = self._inflight[packet.key]
+        self._codec.annotate_hop(annotation, sender, receiver, first_attempt - 1)
+
+    def on_packet_dropped(self, packet: Packet, time: float) -> None:
+        self._inflight.pop(packet.key, None)
+
+    def on_packet_delivered(self, packet: Packet, time: float) -> None:
+        annotation = self._inflight.pop(packet.key)
+        data, bit_length = self._codec.serialize(annotation)
+        assumed_path = (
+            packet.path if self.config.path_encoding == "assumed" else None
+        )
+        try:
+            decoded = decode_annotation(
+                data,
+                bit_length,
+                self._codec,
+                origin=packet.origin,
+                sink=self._sink,
+                assumed_path=assumed_path,
+            )
+        except AnnotationDecodeError:
+            self._decode_failures += 1
+            return
+        self._packets_decoded += 1
+        self._annotation_bits.append(decoded.wire_bits)
+        self._annotation_hops.append(len(decoded.hops))
+        self._estimator.add_decoded(decoded, time)
+        # Feed raw counts (escape lower bounds when censored) so model
+        # re-estimation — and auto-K selection — see the count histogram.
+        self._models.observe_hops(
+            [
+                (hop.link, hop.retx_count if hop.exact else hop.retx_bounds[0])
+                for hop in decoded.hops
+            ],
+            time,
+        )
+        for listener in self._decode_listeners:
+            listener(decoded, time)
+
+    def control_overhead_bits(self) -> int:
+        if self._models is None:
+            return 0
+        return self._models.total_dissemination_bits
+
+    # -- results -------------------------------------------------------------------------
+
+    @property
+    def estimator(self) -> PerLinkEstimator:
+        if self._estimator is None:
+            raise RuntimeError("DophySystem not attached yet")
+        return self._estimator
+
+    @property
+    def models(self) -> ModelManager:
+        if self._models is None:
+            raise RuntimeError("DophySystem not attached yet")
+        return self._models
+
+    def report(self) -> DophyReport:
+        """Summarize estimates and overhead after a run."""
+        if self._estimator is None or self._models is None:
+            raise RuntimeError("DophySystem not attached yet")
+        return DophyReport(
+            estimates=self._estimator.estimates(),
+            packets_decoded=self._packets_decoded,
+            decode_failures=self._decode_failures,
+            annotation_bits=list(self._annotation_bits),
+            annotation_hops=list(self._annotation_hops),
+            dissemination_bits=self._models.total_dissemination_bits,
+            model_updates=self._models.updates_performed,
+        )

@@ -1,0 +1,165 @@
+"""Sliding-window loss estimation for non-stationary links (extension).
+
+The batch :class:`~repro.core.estimator.PerLinkEstimator` pools all
+evidence, which is optimal for stationary links but smears over drift.
+:class:`SlidingLinkEstimator` keeps per-link evidence time-stamped and
+answers "what was this link's loss *around time t*" using only the
+observations in a trailing window — turning Dophy's per-packet evidence
+into a link-quality *time series* (fine-grained in time as well as in
+space).
+
+Attach it to a running :class:`~repro.core.dophy.DophySystem` via
+``dophy.add_decode_listener(sliding.add_decoded)``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.decoder import DecodedAnnotation
+from repro.core.estimator import LinkEstimate, PerLinkEstimator
+from repro.utils.validation import check_positive
+
+__all__ = ["SlidingLinkEstimator"]
+
+Link = Tuple[int, int]
+
+
+@dataclass
+class _TimedObservation:
+    time: float
+    #: Exact retransmission count, or None for censored.
+    retx: Optional[int]
+    #: (lo, hi) inclusive retransmission bounds when censored.
+    bounds: Optional[Tuple[int, int]]
+
+
+class SlidingLinkEstimator:
+    """Time-windowed per-link loss MLE over Dophy's decoded evidence."""
+
+    def __init__(
+        self,
+        max_attempts: int,
+        window: float,
+        *,
+        truncation_correction: bool = True,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        check_positive(window, "window")
+        self.max_attempts = max_attempts
+        self.window = window
+        self.truncation_correction = truncation_correction
+        self._times: Dict[Link, List[float]] = defaultdict(list)
+        self._obs: Dict[Link, List[_TimedObservation]] = defaultdict(list)
+
+    # -- feeding ---------------------------------------------------------------------
+
+    def _append(self, link: Link, obs: _TimedObservation) -> None:
+        times = self._times[link]
+        if times and obs.time < times[-1]:
+            # Out-of-order arrival (possible with in-flight reordering):
+            # insert at the right position to keep bisect valid.
+            idx = bisect.bisect_right(times, obs.time)
+            times.insert(idx, obs.time)
+            self._obs[link].insert(idx, obs)
+        else:
+            times.append(obs.time)
+            self._obs[link].append(obs)
+
+    def add_exact(self, link: Link, retx_count: int, time: float) -> None:
+        if not 0 <= retx_count <= self.max_attempts - 1:
+            raise ValueError(f"retx_count {retx_count} out of range")
+        self._append(link, _TimedObservation(time, retx_count, None))
+
+    def add_censored(
+        self, link: Link, retx_lo: int, retx_hi: int, time: float
+    ) -> None:
+        self._append(link, _TimedObservation(time, None, (retx_lo, retx_hi)))
+
+    def add_decoded(self, decoded: DecodedAnnotation, time: float) -> None:
+        """Listener-compatible hook: feed every hop of one annotation."""
+        for hop in decoded.hops:
+            if hop.exact:
+                self.add_exact(hop.link, hop.retx_count, time)  # type: ignore[arg-type]
+            else:
+                lo, hi = hop.retx_bounds
+                self.add_censored(
+                    hop.link, lo, min(hi, self.max_attempts - 1), time
+                )
+
+    # -- queries ----------------------------------------------------------------------
+
+    def n_samples(self, link: Link, now: float) -> int:
+        """Observations within (now - window, now]."""
+        times = self._times.get(link)
+        if not times:
+            return 0
+        lo = bisect.bisect_right(times, now - self.window)
+        hi = bisect.bisect_right(times, now)
+        return hi - lo
+
+    def estimate(self, link: Link, now: float) -> Optional[LinkEstimate]:
+        """MLE over the trailing window ending at ``now``."""
+        times = self._times.get(link)
+        if not times:
+            return None
+        lo = bisect.bisect_right(times, now - self.window)
+        hi = bisect.bisect_right(times, now)
+        if lo == hi:
+            return None
+        batch = PerLinkEstimator(
+            self.max_attempts, truncation_correction=self.truncation_correction
+        )
+        for obs in self._obs[link][lo:hi]:
+            if obs.retx is not None:
+                batch.add_exact(link, obs.retx, 0.0)
+            else:
+                assert obs.bounds is not None
+                batch.add_censored(link, obs.bounds[0], obs.bounds[1], 0.0)
+        return batch.estimate(link)
+
+    def estimates(self, now: float) -> Dict[Link, LinkEstimate]:
+        """Window estimates for every link with current evidence."""
+        out: Dict[Link, LinkEstimate] = {}
+        for link in self._times:
+            est = self.estimate(link, now)
+            if est is not None:
+                out[link] = est
+        return out
+
+    def timeline(
+        self, link: Link, times: Sequence[float]
+    ) -> List[Tuple[float, Optional[float]]]:
+        """(time, windowed loss estimate) at each requested time — the
+        link-quality time series a network manager would plot."""
+        out = []
+        for t in times:
+            est = self.estimate(link, t)
+            out.append((t, est.loss if est is not None else None))
+        return out
+
+    def prune(self, before: float) -> int:
+        """Drop observations older than ``before``; returns count removed."""
+        removed = 0
+        for link in list(self._times):
+            times = self._times[link]
+            cut = bisect.bisect_left(times, before)
+            if cut:
+                del times[:cut]
+                del self._obs[link][:cut]
+                removed += cut
+            if not times:
+                del self._times[link]
+                del self._obs[link]
+        return removed
+
+    def links(self) -> List[Link]:
+        return sorted(self._times.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        total = sum(len(v) for v in self._obs.values())
+        return f"SlidingLinkEstimator(window={self.window}, samples={total})"

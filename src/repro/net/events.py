@@ -1,0 +1,81 @@
+"""Priority event queue for the discrete-event simulator.
+
+Events with equal timestamps fire in insertion order (a strictly
+increasing sequence number breaks ties), which keeps runs deterministic
+regardless of heap internals. Cancellation is lazy: cancelled entries
+stay in the heap and are skipped when they surface.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+__all__ = ["EventQueue", "ScheduledEvent"]
+
+
+class ScheduledEvent:
+    """Handle returned by :meth:`EventQueue.push`; supports cancellation."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "_queue")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], Any], queue: "EventQueue"):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self._queue = queue
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when it reaches the heap top."""
+        if not self.cancelled:
+            self.cancelled = True
+            self._queue._live -= 1
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"ScheduledEvent(t={self.time}, seq={self.seq}, {state})"
+
+
+class EventQueue:
+    """Min-heap of :class:`ScheduledEvent` ordered by (time, insertion)."""
+
+    def __init__(self) -> None:
+        self._heap: List[ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def push(self, time: float, callback: Callable[[], Any]) -> ScheduledEvent:
+        """Schedule ``callback`` at ``time``; returns a cancellable handle."""
+        if not callable(callback):
+            raise TypeError("callback must be callable")
+        event = ScheduledEvent(float(time), next(self._counter), callback, self)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[ScheduledEvent]:
+        """Remove and return the earliest live event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0

@@ -1,0 +1,351 @@
+"""Link loss models and the channel abstraction.
+
+Each *directed* physical link carries a :class:`LinkModel` that decides,
+per frame transmission, whether the frame is received. Three regimes
+cover what testbeds exhibit:
+
+* :class:`BernoulliLink` — iid loss (the model classical tomography assumes);
+* :class:`GilbertElliottLink` — bursty loss via a two-state Markov chain;
+* :class:`DriftingLink` — non-stationary loss whose mean drifts over time
+  (what makes periodic probability-model updates worthwhile).
+
+The :class:`Channel` owns one model and one RNG substream per directed
+edge, so protocol variants compared under the same master seed see the
+same channel randomness (common random numbers).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.net.topology import Topology
+from repro.utils.rng import RngRegistry
+from repro.utils.validation import check_in_range, check_positive, check_probability
+
+__all__ = [
+    "LinkModel",
+    "BernoulliLink",
+    "GilbertElliottLink",
+    "DriftingLink",
+    "Channel",
+    "uniform_loss_assigner",
+    "beta_loss_assigner",
+    "gilbert_elliott_assigner",
+    "drifting_loss_assigner",
+]
+
+
+class LinkModel(ABC):
+    """Per-directed-link frame loss process."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, time: float) -> bool:
+        """Draw one frame transmission at ``time``; True = received."""
+
+    @abstractmethod
+    def true_loss(self, time: float) -> float:
+        """Instantaneous loss probability at ``time`` (ground truth)."""
+
+    def mean_loss(self, t0: float, t1: float, *, resolution: int = 64) -> float:
+        """Average loss probability over [t0, t1] (numeric by default)."""
+        if t1 < t0:
+            raise ValueError("t1 must be >= t0")
+        if t1 == t0:
+            return self.true_loss(t0)
+        ts = np.linspace(t0, t1, resolution)
+        return float(np.mean([self.true_loss(float(t)) for t in ts]))
+
+
+class BernoulliLink(LinkModel):
+    """Independent identically-distributed loss with fixed probability."""
+
+    def __init__(self, loss: float):
+        self.loss = check_probability(loss, "loss")
+
+    def sample(self, rng: np.random.Generator, time: float) -> bool:
+        return bool(rng.random() >= self.loss)
+
+    def true_loss(self, time: float) -> float:
+        return self.loss
+
+    def mean_loss(self, t0: float, t1: float, *, resolution: int = 64) -> float:
+        return self.loss
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BernoulliLink(loss={self.loss:.3f})"
+
+
+class GilbertElliottLink(LinkModel):
+    """Two-state Markov (Gilbert–Elliott) bursty loss.
+
+    The chain moves between a *good* and a *bad* state on every frame
+    draw; each state has its own loss probability. ``true_loss`` reports
+    the stationary loss (the quantity a long-run estimator should
+    recover); burstiness is controlled by the transition probabilities
+    (small ``p_good_to_bad``/``p_bad_to_good`` = long bursts).
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        loss_good: float = 0.02,
+        loss_bad: float = 0.6,
+        start_state: str = "good",
+    ):
+        self.p_gb = check_probability(p_good_to_bad, "p_good_to_bad")
+        self.p_bg = check_probability(p_bad_to_good, "p_bad_to_good")
+        if self.p_gb == 0.0 and self.p_bg == 0.0:
+            raise ValueError("chain must be able to leave at least one state")
+        self.loss_good = check_probability(loss_good, "loss_good")
+        self.loss_bad = check_probability(loss_bad, "loss_bad")
+        if start_state not in ("good", "bad"):
+            raise ValueError("start_state must be 'good' or 'bad'")
+        self._in_bad = start_state == "bad"
+
+    @property
+    def stationary_bad_fraction(self) -> float:
+        """Long-run fraction of time in the bad state."""
+        return self.p_gb / (self.p_gb + self.p_bg)
+
+    def sample(self, rng: np.random.Generator, time: float) -> bool:
+        # State transition first, then a draw in the new state.
+        if self._in_bad:
+            if rng.random() < self.p_bg:
+                self._in_bad = False
+        else:
+            if rng.random() < self.p_gb:
+                self._in_bad = True
+        loss = self.loss_bad if self._in_bad else self.loss_good
+        return bool(rng.random() >= loss)
+
+    def true_loss(self, time: float) -> float:
+        pi_bad = self.stationary_bad_fraction
+        return pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
+
+    def mean_loss(self, t0: float, t1: float, *, resolution: int = 64) -> float:
+        return self.true_loss(t0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"GilbertElliottLink(p_gb={self.p_gb:.3f}, p_bg={self.p_bg:.3f},"
+            f" loss={self.true_loss(0):.3f})"
+        )
+
+
+class DriftingLink(LinkModel):
+    """Non-stationary loss: sinusoidal drift around a base loss ratio.
+
+    ``loss(t) = clip(base + amplitude * sin(2*pi*t/period + phase), eps, 1-eps)``
+
+    Deterministic drift keeps the ground truth exact at every instant,
+    which the estimator-accuracy scoring relies on.
+    """
+
+    _EPS = 1e-4
+
+    def __init__(
+        self,
+        base_loss: float,
+        amplitude: float,
+        period: float,
+        phase: float = 0.0,
+    ):
+        self.base_loss = check_probability(base_loss, "base_loss")
+        self.amplitude = check_in_range(amplitude, "amplitude", 0.0, 0.5)
+        self.period = check_positive(period, "period")
+        self.phase = float(phase)
+
+    def true_loss(self, time: float) -> float:
+        raw = self.base_loss + self.amplitude * math.sin(
+            2.0 * math.pi * time / self.period + self.phase
+        )
+        return min(1.0 - self._EPS, max(self._EPS, raw))
+
+    def sample(self, rng: np.random.Generator, time: float) -> bool:
+        return bool(rng.random() >= self.true_loss(time))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DriftingLink(base={self.base_loss:.3f}, amp={self.amplitude:.3f},"
+            f" period={self.period:g})"
+        )
+
+
+#: Signature of per-link model factories: (u, v, rng) -> LinkModel.
+LinkAssigner = Callable[[int, int, np.random.Generator], LinkModel]
+
+
+def uniform_loss_assigner(
+    low: float, high: float
+) -> LinkAssigner:
+    """Assign each directed link an iid Bernoulli loss drawn U[low, high]."""
+    check_probability(low, "low")
+    check_probability(high, "high")
+    if high < low:
+        raise ValueError("high must be >= low")
+
+    def make(u: int, v: int, rng: np.random.Generator) -> LinkModel:
+        return BernoulliLink(float(rng.uniform(low, high)))
+
+    return make
+
+
+def gilbert_elliott_assigner(
+    *,
+    p_good_to_bad: float = 0.05,
+    p_bad_to_good: float = 0.25,
+    loss_good_range: Tuple[float, float] = (0.01, 0.1),
+    loss_bad_range: Tuple[float, float] = (0.4, 0.8),
+) -> LinkAssigner:
+    """Assign every directed link a bursty Gilbert–Elliott process.
+
+    Per-link good/bad loss levels are drawn uniformly from the given
+    ranges so links are heterogeneous, as on a real testbed.
+    """
+    check_probability(p_good_to_bad, "p_good_to_bad")
+    check_probability(p_bad_to_good, "p_bad_to_good")
+
+    def make(u: int, v: int, rng: np.random.Generator) -> LinkModel:
+        return GilbertElliottLink(
+            p_good_to_bad,
+            p_bad_to_good,
+            loss_good=float(rng.uniform(*loss_good_range)),
+            loss_bad=float(rng.uniform(*loss_bad_range)),
+        )
+
+    return make
+
+
+def drifting_loss_assigner(
+    *,
+    base_range: Tuple[float, float] = (0.05, 0.3),
+    amplitude_range: Tuple[float, float] = (0.05, 0.2),
+    period_range: Tuple[float, float] = (100.0, 400.0),
+) -> LinkAssigner:
+    """Assign every directed link a sinusoidally drifting loss process.
+
+    Random phases decorrelate the links, so the network-wide symbol
+    distribution drifts — the regime Dophy's periodic model updates target.
+    """
+
+    def make(u: int, v: int, rng: np.random.Generator) -> LinkModel:
+        return DriftingLink(
+            base_loss=float(rng.uniform(*base_range)),
+            amplitude=float(rng.uniform(*amplitude_range)),
+            period=float(rng.uniform(*period_range)),
+            phase=float(rng.uniform(0.0, 2.0 * math.pi)),
+        )
+
+    return make
+
+
+def beta_loss_assigner(alpha: float, beta: float, scale: float = 1.0) -> LinkAssigner:
+    """Assign Bernoulli losses drawn from ``scale * Beta(alpha, beta)``.
+
+    Testbed link-loss distributions are heavy at the low end with a tail
+    of bad links; Beta(1.2, 6) scaled to [0, 0.8] is a reasonable stand-in.
+    """
+    check_positive(alpha, "alpha")
+    check_positive(beta, "beta")
+    check_probability(scale, "scale")
+
+    def make(u: int, v: int, rng: np.random.Generator) -> LinkModel:
+        return BernoulliLink(float(min(1.0, scale * rng.beta(alpha, beta))))
+
+    return make
+
+
+class Channel:
+    """All directed links of a deployment, with per-edge RNG substreams."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        models: Dict[Tuple[int, int], LinkModel],
+        rng_registry: RngRegistry,
+    ):
+        expected = set(topology.directed_edges())
+        if set(models.keys()) != expected:
+            missing = expected - set(models.keys())
+            extra = set(models.keys()) - expected
+            raise ValueError(
+                f"model/edge mismatch: missing={sorted(missing)[:4]}, extra={sorted(extra)[:4]}"
+            )
+        self.topology = topology
+        self._models = dict(models)
+        self._rng = rng_registry
+        self._draws: Dict[Tuple[int, int], int] = {e: 0 for e in expected}
+        self._successes: Dict[Tuple[int, int], int] = {e: 0 for e in expected}
+
+    @classmethod
+    def build(
+        cls,
+        topology: Topology,
+        assigner: LinkAssigner,
+        rng_registry: RngRegistry,
+        *,
+        symmetric: bool = False,
+    ) -> "Channel":
+        """Create models for every directed edge using ``assigner``.
+
+        ``symmetric=True`` gives both directions of a physical link the
+        same model *instance* only when that is statistically safe
+        (Bernoulli); stateful models always get distinct instances with
+        identical parameters via a shared parameter draw.
+        """
+        models: Dict[Tuple[int, int], LinkModel] = {}
+        assign_rng = rng_registry.get("channel", "assign")
+        for u, v in topology.undirected_edges():
+            forward = assigner(u, v, assign_rng)
+            if symmetric and isinstance(forward, BernoulliLink):
+                backward: LinkModel = BernoulliLink(forward.loss)
+            else:
+                backward = assigner(v, u, assign_rng)
+            models[(u, v)] = forward
+            models[(v, u)] = backward
+        return cls(topology, models, rng_registry)
+
+    def model(self, sender: int, receiver: int) -> LinkModel:
+        return self._models[(sender, receiver)]
+
+    def transmit(self, sender: int, receiver: int, time: float) -> bool:
+        """Simulate one frame on (sender -> receiver); True = received."""
+        key = (sender, receiver)
+        model = self._models[key]
+        self._draws[key] += 1
+        ok = model.sample(self._rng.get("link", sender, receiver), time)
+        if ok:
+            self._successes[key] += 1
+        return ok
+
+    def true_loss(self, sender: int, receiver: int, time: float) -> float:
+        return self._models[(sender, receiver)].true_loss(time)
+
+    def mean_loss(self, sender: int, receiver: int, t0: float, t1: float) -> float:
+        return self._models[(sender, receiver)].mean_loss(t0, t1)
+
+    def draws(self, sender: int, receiver: int) -> int:
+        """Number of frame draws simulated on a directed link (diagnostics)."""
+        return self._draws[(sender, receiver)]
+
+    def empirical_loss(self, sender: int, receiver: int) -> Optional[float]:
+        """Realized frame-loss fraction on a directed link; None if unused.
+
+        This is the fairest finite-sample ground truth: an ideal estimator
+        that saw every frame outcome would report exactly this value.
+        """
+        draws = self._draws[(sender, receiver)]
+        if draws == 0:
+            return None
+        return 1.0 - self._successes[(sender, receiver)] / draws
+
+    def directed_edges(self) -> Iterable[Tuple[int, int]]:
+        return self._models.keys()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Channel(edges={len(self._models)})"

@@ -1,0 +1,367 @@
+"""Data-collection simulation driver.
+
+:class:`CollectionSimulation` wires topology, channel, MAC, routing and
+traffic together and runs the network for a configured duration. Protocol
+logic under study (Dophy or a baseline) plugs in as a
+:class:`CollectionObserver`: it sees exactly the events a real deployment
+would expose — packet creation at origins, receiver-side hop completions
+(with the MAC attempt number from the frame header), and deliveries at
+the sink — plus a hook to schedule its own control traffic.
+
+Each node's radio serves one ARQ exchange at a time; packets arriving at
+a busy node wait in a bounded FIFO transmit queue (tail-dropped on
+overflow). Remaining abstractions relative to a packet-level TinyOS
+stack, none of which the inference consumes: beacons are modelled as
+periodic ETX sampling rather than individual frames, no inter-node RF
+interference, and duplicate packets from lost ACKs are suppressed at the
+first hop. See DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.net.failures import FailurePlan
+from repro.net.link import Channel, LinkAssigner, uniform_loss_assigner
+from repro.net.mac import ArqMac, MacConfig, MacResult
+from repro.net.packet import Packet
+from repro.net.routing import RoutingConfig, RoutingEngine
+from repro.net.sim import Simulator
+from repro.net.topology import Topology
+from repro.net.trace import GroundTruth
+from repro.utils.rng import RngRegistry
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "CollectionObserver",
+    "SimulationConfig",
+    "SimulationResult",
+    "CollectionSimulation",
+]
+
+
+class CollectionObserver(Protocol):
+    """Hooks a protocol implementation receives from the simulation.
+
+    All methods are optional in spirit; inherit from
+    :class:`NullObserver` to implement only what you need.
+    """
+
+    def attach(self, simulation: "CollectionSimulation") -> None:
+        """Called once before the run starts; schedule control traffic here."""
+
+    def on_packet_created(self, packet: Packet, time: float) -> None:
+        """A data packet was generated at its origin."""
+
+    def on_hop_delivered(
+        self, packet: Packet, sender: int, receiver: int, first_attempt: int, time: float
+    ) -> None:
+        """``receiver`` got the packet; ``first_attempt`` is the 1-based
+        attempt index read from the received frame's MAC header."""
+
+    def on_packet_delivered(self, packet: Packet, time: float) -> None:
+        """The packet reached the sink (decode annotations here)."""
+
+    def on_packet_dropped(self, packet: Packet, time: float) -> None:
+        """The packet died en route (retries/TTL/no-route)."""
+
+    def control_overhead_bits(self) -> int:
+        """Total control-plane bits this protocol injected (model dissemination)."""
+
+
+class NullObserver:
+    """No-op base class implementing the observer protocol."""
+
+    def attach(self, simulation: "CollectionSimulation") -> None:  # noqa: D102
+        pass
+
+    def on_packet_created(self, packet: Packet, time: float) -> None:  # noqa: D102
+        pass
+
+    def on_hop_delivered(
+        self, packet: Packet, sender: int, receiver: int, first_attempt: int, time: float
+    ) -> None:  # noqa: D102
+        pass
+
+    def on_packet_delivered(self, packet: Packet, time: float) -> None:  # noqa: D102
+        pass
+
+    def on_packet_dropped(self, packet: Packet, time: float) -> None:  # noqa: D102
+        pass
+
+    def control_overhead_bits(self) -> int:  # noqa: D102
+        return 0
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Run-level parameters."""
+
+    #: Simulated duration, seconds.
+    duration: float = 300.0
+    #: Mean inter-packet interval per source node, seconds.
+    traffic_period: float = 10.0
+    #: Uniform jitter fraction applied to each inter-packet gap (0..1).
+    traffic_jitter: float = 0.25
+    #: TTL: drop packets exceeding this many hop attempts.
+    max_hops: int = 64
+    #: Processing delay between receiving a packet and forwarding it, seconds.
+    forward_delay: float = 0.002
+    #: Per-node transmit-queue capacity; arrivals beyond it are tail-dropped.
+    queue_capacity: int = 16
+    mac: MacConfig = field(default_factory=MacConfig)
+    routing: RoutingConfig = field(default_factory=RoutingConfig)
+
+    def __post_init__(self) -> None:
+        check_positive(self.duration, "duration")
+        check_positive(self.traffic_period, "traffic_period")
+        if not 0.0 <= self.traffic_jitter < 1.0:
+            raise ValueError("traffic_jitter must be in [0, 1)")
+        if self.max_hops < 1:
+            raise ValueError("max_hops must be >= 1")
+        if self.forward_delay < 0:
+            raise ValueError("forward_delay must be >= 0")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced."""
+
+    topology: Topology
+    channel: Channel
+    routing: RoutingEngine
+    ground_truth: GroundTruth
+    packets: List[Packet]
+    config: SimulationConfig
+    duration: float
+    events_processed: int
+
+    @property
+    def delivered_packets(self) -> List[Packet]:
+        return [p for p in self.packets if p.delivered]
+
+    @property
+    def delivery_ratio(self) -> float:
+        if not self.packets:
+            return 0.0
+        return len(self.delivered_packets) / len(self.packets)
+
+    @property
+    def churn_rate(self) -> float:
+        """Parent changes per node per second over the run."""
+        return self.routing.churn_rate(self.duration)
+
+
+class CollectionSimulation:
+    """One reproducible data-collection run over a lossy dynamic network."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        seed: int,
+        config: Optional[SimulationConfig] = None,
+        link_assigner: Optional[LinkAssigner] = None,
+        channel: Optional[Channel] = None,
+        observers: Sequence[CollectionObserver] = (),
+        failure_plan: Optional[FailurePlan] = None,
+    ):
+        self.topology = topology
+        self.config = config or SimulationConfig()
+        self.rng = RngRegistry(seed)
+        if channel is not None and link_assigner is not None:
+            raise ValueError("pass either channel or link_assigner, not both")
+        if channel is None:
+            assigner = link_assigner or uniform_loss_assigner(0.05, 0.3)
+            channel = Channel.build(topology, assigner, self.rng)
+        self.channel = channel
+        self.sim = Simulator()
+        self.routing = RoutingEngine(topology, channel, self.rng, self.config.routing)
+        self.mac = ArqMac(channel, self.config.mac)
+        self.ground_truth = GroundTruth(channel)
+        self.observers: List[CollectionObserver] = list(observers)
+        self.packets: List[Packet] = []
+        self._seqno: Dict[int, int] = {n: 0 for n in topology.nodes}
+        self.failure_plan = failure_plan
+        self._alive: Dict[int, bool] = {n: True for n in topology.nodes}
+        self._busy: Dict[int, bool] = {n: False for n in topology.nodes}
+        self._queues: Dict[int, deque] = {n: deque() for n in topology.nodes}
+        self._started = False
+
+    def is_alive(self, node: int) -> bool:
+        return self._alive[node]
+
+    def _schedule_failures(self) -> None:
+        if self.failure_plan is None:
+            return
+        for event in self.failure_plan:
+            alive = event.kind == "recover"
+            self.sim.at(
+                event.time,
+                lambda node=event.node, alive=alive: self._set_node_state(node, alive),
+            )
+
+    def _set_node_state(self, node: int, alive: bool) -> None:
+        if self._alive[node] == alive:
+            return
+        self._alive[node] = alive
+        self.routing.set_alive(node, alive, self.sim.now)
+
+    def add_observer(self, observer: CollectionObserver) -> None:
+        if self._started:
+            raise RuntimeError("cannot add observers after the run started")
+        self.observers.append(observer)
+
+    # -- traffic -----------------------------------------------------------------
+
+    def _schedule_traffic(self) -> None:
+        cfg = self.config
+        for node in self.topology.nodes:
+            if node == self.topology.sink:
+                continue
+            rng = self.rng.get("traffic", node)
+            # Random phase so sources do not fire in lockstep.
+            first = float(rng.uniform(0.0, cfg.traffic_period))
+
+            def make_generator(origin: int, gen_rng) -> None:
+                def generate() -> None:
+                    if self._alive[origin]:  # dead nodes produce nothing
+                        self._create_packet(origin)
+                    jitter = float(
+                        gen_rng.uniform(-cfg.traffic_jitter, cfg.traffic_jitter)
+                    )
+                    gap = cfg.traffic_period * (1.0 + jitter)
+                    if self.sim.now + gap <= cfg.duration:
+                        self.sim.after(gap, generate)
+
+                self.sim.at(first, generate)
+
+            make_generator(node, rng)
+
+    def _create_packet(self, origin: int) -> None:
+        seqno = self._seqno[origin]
+        self._seqno[origin] += 1
+        packet = Packet(origin=origin, seqno=seqno, created_at=self.sim.now)
+        self.packets.append(packet)
+        self.ground_truth.record_generated(packet)
+        for obs in self.observers:
+            obs.on_packet_created(packet, self.sim.now)
+        self.sim.after(0.0, lambda: self._forward(packet, origin))
+
+    # -- forwarding --------------------------------------------------------------
+    #
+    # Each node's radio serves one ARQ exchange at a time: a packet arriving
+    # while the node is mid-exchange waits in its FIFO transmit queue (with a
+    # capacity cap — overflowing packets are tail-dropped, as real forwarding
+    # queues do).
+
+    def _forward(self, packet: Packet, node: int) -> None:
+        if node == self.topology.sink:
+            self._deliver(packet)
+            return
+        if self._busy[node]:
+            queue = self._queues[node]
+            if len(queue) >= self.config.queue_capacity:
+                self._drop(packet, "queue_overflow")
+            else:
+                queue.append(packet)
+            return
+        self._start_exchange(packet, node)
+
+    def _start_exchange(self, packet: Packet, node: int) -> None:
+        if not self._alive[node]:
+            # The holding node died before it could forward.
+            self._drop(packet, "node_failed")
+            self._service_queue(node)
+            return
+        if len(packet.hops) >= self.config.max_hops:
+            self._drop(packet, "ttl")
+            self._service_queue(node)
+            return
+        parent = self.routing.parent(node)
+        if parent is None:
+            self._drop(packet, "no_route")
+            self._service_queue(node)
+            return
+        if not self._alive[parent]:
+            # Receiver's radio is off: every attempt times out, no frames
+            # actually traverse the channel (so link statistics stay clean).
+            mac_cfg = self.config.mac
+            end = self.sim.now + mac_cfg.max_attempts * (
+                mac_cfg.tx_time + mac_cfg.retry_interval
+            )
+            result = MacResult(
+                attempts=mac_cfg.max_attempts,
+                first_received_attempt=None,
+                acked=False,
+                end_time=end,
+            )
+        else:
+            result = self.mac.send(node, parent, self.sim.now)
+        self._busy[node] = True
+        self.sim.at(result.end_time, lambda: self._finish_exchange(node))
+        self.routing.on_data_sample(node, parent, result.attempts, self.sim.now)
+        self.ground_truth.record_hop(node, parent, result)
+        packet.record_hop(node, parent, result.attempts, result.end_time, result.received)
+        if result.received:
+            first = result.first_received_attempt
+            assert first is not None
+            for obs in self.observers:
+                obs.on_hop_delivered(packet, node, parent, first, result.end_time)
+            delay = (result.end_time - self.sim.now) + self.config.forward_delay
+            self.sim.after(delay, lambda: self._forward(packet, parent))
+        else:
+            self._drop(packet, "retries")
+
+    def _finish_exchange(self, node: int) -> None:
+        self._busy[node] = False
+        self._service_queue(node)
+
+    def _service_queue(self, node: int) -> None:
+        if self._busy[node]:
+            return
+        queue = self._queues[node]
+        if queue:
+            self._start_exchange(queue.popleft(), node)
+
+    def _deliver(self, packet: Packet) -> None:
+        packet.delivered_at = self.sim.now
+        self.ground_truth.record_delivered(packet)
+        for obs in self.observers:
+            obs.on_packet_delivered(packet, self.sim.now)
+
+    def _drop(self, packet: Packet, reason: str) -> None:
+        packet.dropped_at = self.sim.now
+        packet.drop_reason = reason
+        self.ground_truth.record_dropped(packet)
+        for obs in self.observers:
+            obs.on_packet_dropped(packet, self.sim.now)
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the full run and return its results."""
+        if self._started:
+            raise RuntimeError("simulation already ran")
+        self._started = True
+        self.routing.attach(self.sim)
+        self._schedule_failures()
+        for obs in self.observers:
+            obs.attach(self)
+        self._schedule_traffic()
+        # Drain in-flight packets a short grace period past the duration.
+        self.sim.run_until(self.config.duration + 10.0)
+        return SimulationResult(
+            topology=self.topology,
+            channel=self.channel,
+            routing=self.routing,
+            ground_truth=self.ground_truth,
+            packets=self.packets,
+            config=self.config,
+            duration=self.config.duration,
+            events_processed=self.sim.events_processed,
+        )

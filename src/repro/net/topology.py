@@ -1,0 +1,227 @@
+"""Network topologies: node placement and radio connectivity.
+
+A :class:`Topology` is an undirected connectivity graph (who can hear
+whom) plus node positions and a designated sink. Link *quality* lives in
+:mod:`repro.net.link`; the topology only says which links exist.
+
+Generators mirror the setups used in WSN simulation studies: random
+geometric graphs (the TOSSIM-style "random deployment"), grids, and
+lines (for controlled path-length experiments).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "Topology",
+    "random_geometric_topology",
+    "grid_topology",
+    "line_topology",
+    "topology_from_edges",
+]
+
+
+class Topology:
+    """Undirected connectivity graph with positions and a sink node."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        sink: int,
+        positions: Optional[Dict[int, Tuple[float, float]]] = None,
+    ):
+        if sink not in graph:
+            raise ValueError(f"sink {sink} is not a node of the graph")
+        if graph.number_of_nodes() < 2:
+            raise ValueError("topology needs at least two nodes")
+        if not nx.is_connected(graph):
+            raise ValueError("topology must be connected")
+        self.graph = graph
+        self.sink = sink
+        self.positions = positions or {}
+        self._hops_to_sink: Dict[int, int] = dict(
+            nx.single_source_shortest_path_length(graph, sink)
+        )
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def nodes(self) -> List[int]:
+        return sorted(self.graph.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    def neighbors(self, node: int) -> List[int]:
+        return sorted(self.graph.neighbors(node))
+
+    def undirected_edges(self) -> List[Tuple[int, int]]:
+        """Each physical link once, as (min, max)."""
+        return sorted((min(u, v), max(u, v)) for u, v in self.graph.edges)
+
+    def directed_edges(self) -> List[Tuple[int, int]]:
+        """Both directions of every physical link."""
+        out: List[Tuple[int, int]] = []
+        for u, v in self.graph.edges:
+            out.append((u, v))
+            out.append((v, u))
+        return sorted(out)
+
+    def upstream_edges(self) -> List[Tuple[int, int]]:
+        """Directed edges (u, v) where v is at most as far from the sink as u.
+
+        These are the links data traffic can use under loop-free collection
+        routing — the set tomography approaches attempt to estimate.
+        """
+        return sorted(
+            (u, v)
+            for u, v in self.directed_edges()
+            if self._hops_to_sink[v] <= self._hops_to_sink[u] and u != self.sink
+        )
+
+    def hops_to_sink(self, node: int) -> int:
+        return self._hops_to_sink[node]
+
+    @property
+    def max_depth(self) -> int:
+        """Eccentricity of the sink (longest shortest path)."""
+        return max(self._hops_to_sink.values())
+
+    def distance(self, u: int, v: int) -> float:
+        """Euclidean distance, if positions are known."""
+        if u not in self.positions or v not in self.positions:
+            raise KeyError("positions unknown for requested nodes")
+        (x1, y1), (x2, y2) = self.positions[u], self.positions[v]
+        return math.hypot(x1 - x2, y1 - y2)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Topology(nodes={self.num_nodes}, edges={self.num_edges},"
+            f" sink={self.sink}, depth={self.max_depth})"
+        )
+
+
+def random_geometric_topology(
+    num_nodes: int,
+    *,
+    seed: int,
+    radius: Optional[float] = None,
+    side: float = 1.0,
+    sink_position: str = "corner",
+    max_attempts: int = 50,
+) -> Topology:
+    """Random geometric deployment in a ``side``×``side`` square.
+
+    Nodes are placed uniformly at random; two nodes are connected iff
+    within ``radius``. If ``radius`` is omitted it starts at the
+    connectivity threshold ``side * sqrt(2 * ln(n) / n)`` and grows until
+    the graph is connected (re-drawing placements on failure).
+
+    ``sink_position`` is ``"corner"`` (node 0 pinned at the origin — the
+    classic collection layout maximizing path diversity) or ``"center"``.
+    """
+    if num_nodes < 2:
+        raise ValueError("num_nodes must be >= 2")
+    if sink_position not in ("corner", "center"):
+        raise ValueError("sink_position must be 'corner' or 'center'")
+    rng = derive_rng(seed, "topology", "rgg")
+    base_radius = radius if radius is not None else side * math.sqrt(
+        2.0 * math.log(max(num_nodes, 3)) / num_nodes
+    )
+    for attempt in range(max_attempts):
+        grow = 1.0 + 0.15 * attempt
+        r = base_radius * (grow if radius is None else 1.0)
+        pos: Dict[int, Tuple[float, float]] = {
+            i: (float(x), float(y))
+            for i, (x, y) in enumerate(rng.uniform(0.0, side, size=(num_nodes, 2)))
+        }
+        pos[0] = (0.0, 0.0) if sink_position == "corner" else (side / 2, side / 2)
+        graph = nx.Graph()
+        graph.add_nodes_from(range(num_nodes))
+        for i in range(num_nodes):
+            xi, yi = pos[i]
+            for j in range(i + 1, num_nodes):
+                xj, yj = pos[j]
+                if (xi - xj) ** 2 + (yi - yj) ** 2 <= r * r:
+                    graph.add_edge(i, j)
+        if nx.is_connected(graph):
+            return Topology(graph, sink=0, positions=pos)
+        if radius is not None:
+            continue  # fixed radius: just re-draw placements
+    raise RuntimeError(
+        f"could not generate a connected RGG with n={num_nodes} after {max_attempts} attempts"
+    )
+
+
+def grid_topology(
+    rows: int,
+    cols: int,
+    *,
+    spacing: float = 1.0,
+    diagonal: bool = False,
+) -> Topology:
+    """Regular ``rows``×``cols`` grid; sink at node 0 (top-left corner).
+
+    With ``diagonal=True`` nodes also hear their diagonal neighbours
+    (8-connectivity), giving each node multiple candidate parents — the
+    regime where dynamic parent selection matters.
+    """
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ValueError("grid must contain at least two nodes")
+    graph = nx.Graph()
+    positions: Dict[int, Tuple[float, float]] = {}
+
+    def node_id(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            nid = node_id(r, c)
+            graph.add_node(nid)
+            positions[nid] = (c * spacing, r * spacing)
+    offsets = [(0, 1), (1, 0)]
+    if diagonal:
+        offsets += [(1, 1), (1, -1)]
+    for r in range(rows):
+        for c in range(cols):
+            for dr, dc in offsets:
+                rr, cc = r + dr, c + dc
+                if 0 <= rr < rows and 0 <= cc < cols:
+                    graph.add_edge(node_id(r, c), node_id(rr, cc))
+    return Topology(graph, sink=0, positions=positions)
+
+
+def line_topology(num_nodes: int, *, spacing: float = 1.0) -> Topology:
+    """A chain 0-1-2-...-(n-1) with the sink at node 0.
+
+    The controlled setting for encoding-overhead-vs-path-length sweeps:
+    node ``i`` is exactly ``i`` hops from the sink.
+    """
+    if num_nodes < 2:
+        raise ValueError("num_nodes must be >= 2")
+    graph = nx.path_graph(num_nodes)
+    positions = {i: (i * spacing, 0.0) for i in range(num_nodes)}
+    return Topology(graph, sink=0, positions=positions)
+
+
+def topology_from_edges(
+    edges: Iterable[Tuple[int, int]],
+    *,
+    sink: int = 0,
+    positions: Optional[Dict[int, Tuple[float, float]]] = None,
+) -> Topology:
+    """Build a topology from an explicit edge list (for tests and traces)."""
+    graph = nx.Graph()
+    graph.add_edges_from(edges)
+    return Topology(graph, sink=sink, positions=positions)

@@ -1,0 +1,137 @@
+"""Ground-truth trace collection.
+
+The simulator records, per directed link, every hop-level ARQ exchange:
+how many frames were sent, which attempt first got through, and whether
+the hop succeeded. Estimators are scored against either the configured
+(model) loss ratios or the *empirical* realized frame-loss fractions —
+the latter is the fair finite-sample reference, since even a perfect
+estimator can only know what the channel actually did.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.link import Channel
+from repro.net.mac import MacResult
+from repro.net.packet import Packet
+
+__all__ = ["GroundTruth", "LinkUsage"]
+
+
+@dataclass
+class LinkUsage:
+    """Aggregated ground truth for one directed link."""
+
+    #: Number of hop-level ARQ exchanges (packets attempted on this link).
+    exchanges: int = 0
+    #: Total data frames sent.
+    frames_sent: int = 0
+    #: Exchanges in which the receiver got at least one copy.
+    received: int = 0
+    #: Sum of (first_received_attempt - 1) over received exchanges.
+    retransmissions_observed: int = 0
+    #: Per-exchange first-received attempt numbers (1-based), None for failures.
+    attempt_samples: List[Optional[int]] = field(default_factory=list)
+
+    @property
+    def hop_delivery_ratio(self) -> Optional[float]:
+        """Fraction of exchanges that delivered (after all retries)."""
+        if self.exchanges == 0:
+            return None
+        return self.received / self.exchanges
+
+    @property
+    def mean_retransmissions(self) -> Optional[float]:
+        if self.received == 0:
+            return None
+        return self.retransmissions_observed / self.received
+
+
+class GroundTruth:
+    """Accumulates simulator-side truth over one run."""
+
+    def __init__(self, channel: Channel):
+        self.channel = channel
+        self.link_usage: Dict[Tuple[int, int], LinkUsage] = defaultdict(LinkUsage)
+        self.packets_generated = 0
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+        self.drop_reasons: Dict[str, int] = defaultdict(int)
+        self._t_start: Optional[float] = None
+        self._t_end: Optional[float] = None
+
+    # -- recording ---------------------------------------------------------------
+
+    def record_generated(self, packet: Packet) -> None:
+        self.packets_generated += 1
+        if self._t_start is None or packet.created_at < self._t_start:
+            self._t_start = packet.created_at
+
+    def record_hop(self, sender: int, receiver: int, result: MacResult) -> None:
+        usage = self.link_usage[(sender, receiver)]
+        usage.exchanges += 1
+        usage.frames_sent += result.attempts
+        usage.attempt_samples.append(result.first_received_attempt)
+        if result.received:
+            usage.received += 1
+            usage.retransmissions_observed += result.first_received_attempt - 1
+        self._t_end = max(self._t_end or 0.0, result.end_time)
+
+    def record_delivered(self, packet: Packet) -> None:
+        self.packets_delivered += 1
+
+    def record_dropped(self, packet: Packet) -> None:
+        self.packets_dropped += 1
+        self.drop_reasons[packet.drop_reason or "unknown"] += 1
+
+    # -- references for scoring ------------------------------------------------------
+
+    def used_links(self) -> List[Tuple[int, int]]:
+        """Directed links that carried at least one data exchange."""
+        return sorted(k for k, u in self.link_usage.items() if u.exchanges > 0)
+
+    def true_loss(self, link: Tuple[int, int], *, kind: str = "empirical") -> Optional[float]:
+        """Ground-truth loss ratio for a directed link.
+
+        ``kind='empirical'`` — realized frame-loss fraction (None if the link
+        never carried a frame). ``kind='model'`` — the configured model loss
+        averaged over the observation window.
+        """
+        u, v = link
+        if kind == "empirical":
+            return self.channel.empirical_loss(u, v)
+        if kind == "model":
+            t0 = self._t_start if self._t_start is not None else 0.0
+            t1 = self._t_end if self._t_end is not None else t0
+            return self.channel.mean_loss(u, v, t0, t1)
+        raise ValueError(f"unknown ground-truth kind {kind!r}")
+
+    def true_loss_map(self, *, kind: str = "empirical") -> Dict[Tuple[int, int], float]:
+        """Ground-truth losses for every link that carried traffic."""
+        out: Dict[Tuple[int, int], float] = {}
+        for link in self.used_links():
+            value = self.true_loss(link, kind=kind)
+            if value is not None:
+                out[link] = value
+        return out
+
+    # -- summary -----------------------------------------------------------------------
+
+    @property
+    def delivery_ratio(self) -> Optional[float]:
+        if self.packets_generated == 0:
+            return None
+        return self.packets_delivered / self.packets_generated
+
+    @property
+    def observation_window(self) -> Tuple[float, float]:
+        return (self._t_start or 0.0, self._t_end or 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"GroundTruth(generated={self.packets_generated},"
+            f" delivered={self.packets_delivered}, links={len(self.link_usage)})"
+        )

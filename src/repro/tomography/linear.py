@@ -1,0 +1,104 @@
+"""Linear-algebraic loss tomography (NNLS over log-delivery equations).
+
+Each origin contributes one equation per snapshot window:
+
+    -log R_w(origin) = sum over links l of assumed path  x_l,
+    x_l = -log s_l >= 0,
+
+with ``R_w`` the origin's delivery ratio during window *w* and the path
+taken from that window's topology snapshot. Solving the stacked system
+with non-negative least squares yields hop successes ``s_l = exp(-x_l)``,
+then frame losses via the ARQ inversion. Stacking windows lets the
+method exploit snapshot refreshes; with a single stale snapshot it is
+the classic static formulation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro.tomography.base import (
+    EndToEndObserver,
+    PathSnapshotPolicy,
+    TomographyResult,
+    hop_success_to_frame_loss,
+)
+
+__all__ = ["LinearTomography"]
+
+#: Delivery ratios below this are clamped (log of zero is unusable).
+_MIN_RATIO = 1e-3
+
+
+class LinearTomography(EndToEndObserver):
+    """NNLS on the log-linear path-loss system."""
+
+    method_name = "linear_nnls"
+
+    def __init__(
+        self,
+        snapshot_policy: Optional[PathSnapshotPolicy] = None,
+        *,
+        min_packets_per_equation: int = 5,
+    ):
+        super().__init__(snapshot_policy)
+        if min_packets_per_equation < 1:
+            raise ValueError("min_packets_per_equation must be >= 1")
+        self.min_packets_per_equation = min_packets_per_equation
+
+    def solve(self) -> TomographyResult:
+        # Build equations: one per (window, origin) with enough traffic.
+        equations: List[Tuple[Tuple[Tuple[int, int], ...], float, int]] = []
+        for window, obs in self.windowed_observations().items():
+            per_origin: Dict[int, List[Tuple[Tuple[Tuple[int, int], ...], bool]]] = defaultdict(list)
+            for origin, links, delivered in obs:
+                per_origin[origin].append((links, delivered))
+            for origin, rows in per_origin.items():
+                n = len(rows)
+                if n < self.min_packets_per_equation:
+                    continue
+                delivered = sum(1 for _, d in rows if d)
+                ratio = max(_MIN_RATIO, delivered / n)
+                # All rows in a window share the snapshot path; take the first.
+                links = rows[0][0]
+                if links:
+                    equations.append((links, ratio, n))
+        if not equations:
+            return TomographyResult(losses={}, converged=False, method=self.method_name)
+
+        link_index: Dict[Tuple[int, int], int] = {}
+        for links, _, _ in equations:
+            for link in links:
+                link_index.setdefault(link, len(link_index))
+        m, k = len(equations), len(link_index)
+        A = np.zeros((m, k))
+        b = np.zeros(m)
+        weights = np.zeros(m)
+        support: Dict[Tuple[int, int], int] = defaultdict(int)
+        for i, (links, ratio, n) in enumerate(equations):
+            for link in links:
+                A[i, link_index[link]] = 1.0
+                support[link] += n
+            b[i] = -math.log(ratio)
+            weights[i] = math.sqrt(n)  # weight by sample count
+        Aw = A * weights[:, None]
+        bw = b * weights
+        x, residual = optimize.nnls(Aw, bw)
+        # Rank check: links that appear in no independent equation are
+        # unidentifiable; NNLS still returns a value — flag via converged.
+        converged = bool(np.linalg.matrix_rank(A) == k)
+        losses: Dict[Tuple[int, int], float] = {}
+        for link, idx in link_index.items():
+            hop_success = math.exp(-float(x[idx]))
+            losses[link] = hop_success_to_frame_loss(hop_success, self.max_attempts)
+        return TomographyResult(
+            losses=losses,
+            support=dict(support),
+            converged=converged,
+            method=self.method_name,
+        )

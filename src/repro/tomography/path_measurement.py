@@ -1,0 +1,140 @@
+"""Direct path measurement: per-hop counts in every packet, classically coded.
+
+The accuracy upper bound among baselines — it carries exactly the same
+per-hop evidence Dophy does, but encodes each retransmission count with
+a conventional prefix code (fixed-width by default, or Elias/Rice). The
+comparison against Dophy isolates what arithmetic coding with symbol
+aggregation and model updates buys: same estimates, far fewer bits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.coding.baseline_codes import FixedWidthCode, IntegerCode
+from repro.core.config import DophyConfig
+from repro.core.estimator import LinkEstimate, PerLinkEstimator
+from repro.net.packet import Packet
+from repro.net.simulation import CollectionSimulation, NullObserver
+
+__all__ = ["PathMeasurement", "PathMeasurementReport"]
+
+
+@dataclass
+class PathMeasurementReport:
+    """Estimates plus overhead accounting for the direct-measurement baseline."""
+
+    estimates: Dict[Tuple[int, int], LinkEstimate]
+    annotation_bits: List[int] = field(default_factory=list)
+    annotation_hops: List[int] = field(default_factory=list)
+    code_name: str = ""
+
+    @property
+    def total_annotation_bits(self) -> int:
+        return sum(self.annotation_bits)
+
+    @property
+    def mean_annotation_bits(self) -> float:
+        if not self.annotation_bits:
+            return 0.0
+        return sum(self.annotation_bits) / len(self.annotation_bits)
+
+    @property
+    def mean_bits_per_hop(self) -> float:
+        hops = sum(self.annotation_hops)
+        if hops == 0:
+            return 0.0
+        return sum(self.annotation_bits) / hops
+
+    @property
+    def total_overhead_bits(self) -> int:
+        return self.total_annotation_bits
+
+
+@dataclass
+class _Annotation:
+    """In-flight per-packet record: (receiver, retransmission count) per hop."""
+
+    hops: List[Tuple[int, int]] = field(default_factory=list)
+
+
+class PathMeasurement(NullObserver):
+    """Per-packet hop-by-hop measurement with a pluggable integer code."""
+
+    def __init__(
+        self,
+        count_code: Optional[IntegerCode] = None,
+        *,
+        path_encoding: str = "explicit",
+        hop_count_bits: int = 7,
+    ):
+        if path_encoding not in ("explicit", "assumed"):
+            raise ValueError("path_encoding must be 'explicit' or 'assumed'")
+        self._configured_code = count_code
+        self.count_code: Optional[IntegerCode] = count_code
+        self.path_encoding = path_encoding
+        self.hop_count_bits = hop_count_bits
+        self._estimator: Optional[PerLinkEstimator] = None
+        self._node_id_bits = 0
+        #: In-flight per-packet hop records, keyed by (origin, seqno).
+        self._inflight: Dict[Tuple[int, int], _Annotation] = {}
+        self._annotation_bits: List[int] = []
+        self._annotation_hops: List[int] = []
+
+    def attach(self, simulation: CollectionSimulation) -> None:
+        max_attempts = simulation.config.mac.max_attempts
+        self._estimator = PerLinkEstimator(max_attempts=max_attempts)
+        if self._configured_code is None:
+            # Fixed-width field just wide enough for any possible count.
+            width = max(1, math.ceil(math.log2(max_attempts)))
+            self.count_code = FixedWidthCode(width)
+        self._node_id_bits = (
+            DophyConfig.node_id_bits(simulation.topology.num_nodes)
+            if self.path_encoding == "explicit"
+            else 0
+        )
+
+    # -- packet lifecycle ---------------------------------------------------------
+
+    def on_packet_created(self, packet: Packet, time: float) -> None:
+        self._inflight[packet.key] = _Annotation()
+
+    def on_hop_delivered(
+        self, packet: Packet, sender: int, receiver: int, first_attempt: int, time: float
+    ) -> None:
+        self._inflight[packet.key].hops.append((receiver, first_attempt - 1))
+
+    def on_packet_dropped(self, packet: Packet, time: float) -> None:
+        self._inflight.pop(packet.key, None)
+
+    def on_packet_delivered(self, packet: Packet, time: float) -> None:
+        record = self._inflight.pop(packet.key)
+        bits = self.hop_count_bits
+        prev = packet.origin
+        for receiver, count in record.hops:
+            bits += self._node_id_bits
+            bits += self.count_code.code_length(count)
+            self._estimator.add_exact((prev, receiver), count, time)
+            prev = receiver
+        self._annotation_bits.append(bits)
+        self._annotation_hops.append(len(record.hops))
+
+    # -- results ----------------------------------------------------------------------
+
+    @property
+    def estimator(self) -> PerLinkEstimator:
+        if self._estimator is None:
+            raise RuntimeError("PathMeasurement not attached yet")
+        return self._estimator
+
+    def report(self) -> PathMeasurementReport:
+        if self._estimator is None:
+            raise RuntimeError("PathMeasurement not attached yet")
+        return PathMeasurementReport(
+            estimates=self._estimator.estimates(),
+            annotation_bits=list(self._annotation_bits),
+            annotation_hops=list(self._annotation_hops),
+            code_name=self.count_code.name if self.count_code else "",
+        )

@@ -1,0 +1,21 @@
+"""Shared utilities: deterministic RNG streams and argument validation."""
+
+from repro.utils.rng import RngRegistry, derive_rng, spawn_seeds
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "RngRegistry",
+    "derive_rng",
+    "spawn_seeds",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_type",
+]

@@ -1,0 +1,107 @@
+"""Deterministic random-number-stream management.
+
+Simulations in this package are fully reproducible: every stochastic
+component (each link, the routing beacons, the traffic generator, ...)
+draws from its own named substream derived from a single master seed.
+This keeps results independent of the order in which components happen
+to draw, which matters when comparing protocol variants on the *same*
+sequence of channel events (common random numbers).
+
+The derivation uses :class:`numpy.random.SeedSequence` spawning, the
+recommended mechanism for creating statistically independent streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple, Union
+
+import numpy as np
+
+__all__ = ["derive_rng", "spawn_seeds", "RngRegistry"]
+
+#: Anything acceptable as a stream name component.
+KeyPart = Union[str, int]
+
+
+def _key_to_ints(key: Tuple[KeyPart, ...]) -> List[int]:
+    """Map a structured stream key to a list of ints for SeedSequence.
+
+    Strings are hashed with a stable (non-salted) FNV-1a so the mapping is
+    identical across processes and Python versions; ints pass through.
+    """
+    out: List[int] = []
+    for part in key:
+        if isinstance(part, bool):  # bool is an int subclass; reject explicitly
+            raise TypeError("bool is not a valid RNG key part")
+        if isinstance(part, int):
+            out.append(part & 0xFFFFFFFF)
+        elif isinstance(part, str):
+            acc = 0x811C9DC5
+            for byte in part.encode("utf-8"):
+                acc ^= byte
+                acc = (acc * 0x01000193) & 0xFFFFFFFF
+            out.append(acc)
+        else:
+            raise TypeError(f"RNG key parts must be str or int, got {type(part)!r}")
+    return out
+
+
+def derive_rng(master_seed: int, *key: KeyPart) -> np.random.Generator:
+    """Return an independent Generator for the stream named by ``key``.
+
+    The same ``(master_seed, key)`` always yields a generator producing the
+    same sequence; different keys yield statistically independent streams.
+    """
+    seq = np.random.SeedSequence(entropy=master_seed, spawn_key=tuple(_key_to_ints(tuple(key))))
+    return np.random.Generator(np.random.PCG64(seq))
+
+
+def spawn_seeds(master_seed: int, n: int) -> List[int]:
+    """Derive ``n`` child integer seeds from a master seed.
+
+    Useful for replication sweeps: each replicate gets its own master seed.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    seq = np.random.SeedSequence(entropy=master_seed)
+    return [int(s.generate_state(1)[0]) for s in seq.spawn(n)]
+
+
+class RngRegistry:
+    """Lazy cache of named RNG streams sharing one master seed.
+
+    Components ask for ``registry.get("link", u, v)`` and always receive the
+    same generator object for the lifetime of the registry, so stream state
+    advances coherently within one simulation run.
+    """
+
+    def __init__(self, master_seed: int):
+        if not isinstance(master_seed, int):
+            raise TypeError("master_seed must be an int")
+        self._master_seed = master_seed
+        self._streams: Dict[Tuple[KeyPart, ...], np.random.Generator] = {}
+
+    @property
+    def master_seed(self) -> int:
+        return self._master_seed
+
+    def get(self, *key: KeyPart) -> np.random.Generator:
+        """Return (creating if needed) the generator for ``key``."""
+        if not key:
+            raise ValueError("stream key must be non-empty")
+        tkey = tuple(key)
+        gen = self._streams.get(tkey)
+        if gen is None:
+            gen = derive_rng(self._master_seed, *tkey)
+            self._streams[tkey] = gen
+        return gen
+
+    def known_streams(self) -> Iterable[Tuple[KeyPart, ...]]:
+        """Keys of all streams created so far (for diagnostics)."""
+        return tuple(self._streams.keys())
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RngRegistry(master_seed={self._master_seed}, streams={len(self._streams)})"

@@ -1,0 +1,71 @@
+"""Small argument-validation helpers used across the public API.
+
+These raise early, with messages naming the offending parameter, rather
+than letting bad configuration surface as confusing downstream behaviour
+(e.g. a negative loss probability silently clamped by a sampler).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Tuple, Type, Union
+
+__all__ = [
+    "check_probability",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_type",
+]
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite probability in [0, 1]."""
+    value = float(value)
+    if math.isnan(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is finite and strictly positive."""
+    value = float(value)
+    if not math.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is finite and >= 0."""
+    value = float(value)
+    if not math.isfinite(value) or value < 0.0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    lo: float,
+    hi: float,
+    *,
+    inclusive: Tuple[bool, bool] = (True, True),
+) -> float:
+    """Validate that ``value`` lies in the interval [lo, hi] (bounds per ``inclusive``)."""
+    value = float(value)
+    lo_ok = value >= lo if inclusive[0] else value > lo
+    hi_ok = value <= hi if inclusive[1] else value < hi
+    if math.isnan(value) or not (lo_ok and hi_ok):
+        lb = "[" if inclusive[0] else "("
+        rb = "]" if inclusive[1] else ")"
+        raise ValueError(f"{name} must be in {lb}{lo}, {hi}{rb}, got {value!r}")
+    return value
+
+
+def check_type(value: Any, name: str, expected: Union[Type, Tuple[Type, ...]]) -> Any:
+    """Validate ``isinstance(value, expected)``, naming the parameter on failure."""
+    if not isinstance(value, expected):
+        exp = expected if isinstance(expected, tuple) else (expected,)
+        names = ", ".join(t.__name__ for t in exp)
+        raise TypeError(f"{name} must be of type {names}, got {type(value).__name__}")
+    return value

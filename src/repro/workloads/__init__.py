@@ -1,0 +1,58 @@
+"""Reproducible evaluation workloads: scenarios, approach specs, sweeps."""
+
+from repro.workloads.runner import (
+    ApproachOutcome,
+    ApproachSpec,
+    ComparisonRow,
+    dophy_approach,
+    em_approach,
+    huffman_dophy_approach,
+    linear_approach,
+    path_measurement_approach,
+    run_comparison,
+    run_replicated,
+    tree_ratio_approach,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    failing_rgg_scenario,
+    interference_rgg_scenario,
+    bursty_rgg_scenario,
+    drifting_line_scenario,
+    drifting_rgg_scenario,
+    dynamic_rgg_scenario,
+    line_scenario,
+    static_grid_scenario,
+    static_rgg_scenario,
+)
+from repro.workloads.export import row_to_record, rows_to_records, write_csv, write_json
+from repro.workloads.tables import format_table
+
+__all__ = [
+    "Scenario",
+    "line_scenario",
+    "static_grid_scenario",
+    "static_rgg_scenario",
+    "dynamic_rgg_scenario",
+    "bursty_rgg_scenario",
+    "drifting_rgg_scenario",
+    "drifting_line_scenario",
+    "failing_rgg_scenario",
+    "interference_rgg_scenario",
+    "ApproachSpec",
+    "ApproachOutcome",
+    "ComparisonRow",
+    "dophy_approach",
+    "huffman_dophy_approach",
+    "path_measurement_approach",
+    "tree_ratio_approach",
+    "linear_approach",
+    "em_approach",
+    "run_comparison",
+    "run_replicated",
+    "format_table",
+    "row_to_record",
+    "rows_to_records",
+    "write_csv",
+    "write_json",
+]

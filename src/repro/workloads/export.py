@@ -1,0 +1,94 @@
+"""Result export: comparison rows to CSV / JSON.
+
+Sweeps produce :class:`~repro.workloads.runner.ComparisonRow` objects;
+these helpers flatten them into plain records and write standard formats
+so results can be post-processed outside Python (R, gnuplot,
+spreadsheets).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Union
+
+from repro.workloads.runner import ComparisonRow
+
+__all__ = ["row_to_record", "rows_to_records", "write_csv", "write_json"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def row_to_record(
+    row: ComparisonRow, *, extra: Mapping[str, Any] | None = None
+) -> Dict[str, Any]:
+    """Flatten one comparison row into a plain dict of scalars.
+
+    ``extra`` lets sweeps attach their independent variables (e.g.
+    ``{"churn_noise": 0.6, "seed": 7}``).
+    """
+    record: Dict[str, Any] = {
+        "approach": row.approach,
+        "mae": row.accuracy.mae,
+        "rmse": row.accuracy.rmse,
+        "median_error": row.accuracy.median_error,
+        "p90_error": row.accuracy.p90_error,
+        "max_error": row.accuracy.max_error,
+        "links_compared": row.accuracy.n_links_compared,
+        "links_truth": row.accuracy.n_links_truth,
+        "coverage": row.accuracy.coverage,
+        "packets": row.overhead.packets,
+        "mean_bits_per_packet": row.overhead.mean_bits_per_packet,
+        "p95_bits_per_packet": row.overhead.p95_bits_per_packet,
+        "mean_bits_per_hop": row.overhead.mean_bits_per_hop,
+        "control_bits": row.overhead.control_bits,
+        "total_bits": row.overhead.total_bits,
+        "delivery_ratio": row.delivery_ratio,
+        "churn_rate": row.churn_rate,
+    }
+    if extra:
+        overlap = record.keys() & extra.keys()
+        if overlap:
+            raise ValueError(f"extra keys shadow record fields: {sorted(overlap)}")
+        record.update(extra)
+    return record
+
+
+def rows_to_records(
+    rows: Iterable[ComparisonRow], *, extra: Mapping[str, Any] | None = None
+) -> List[Dict[str, Any]]:
+    """Flatten many rows (shared ``extra`` applied to each)."""
+    return [row_to_record(r, extra=extra) for r in rows]
+
+
+def write_csv(records: Sequence[Mapping[str, Any]], path: PathLike) -> pathlib.Path:
+    """Write records as CSV (union of keys, stable order; missing -> '')."""
+    path = pathlib.Path(path)
+    if not records:
+        raise ValueError("no records to write")
+    fieldnames: List[str] = []
+    for record in records:
+        for key in record:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames, restval="")
+        writer.writeheader()
+        for record in records:
+            writer.writerow(dict(record))
+    return path
+
+
+def write_json(records: Sequence[Mapping[str, Any]], path: PathLike) -> pathlib.Path:
+    """Write records as a JSON array (floats untouched; NaN not emitted)."""
+    path = pathlib.Path(path)
+
+    def clean(value: Any) -> Any:
+        if isinstance(value, float) and value != value:
+            return None
+        return value
+
+    payload = [{k: clean(v) for k, v in record.items()} for record in records]
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path

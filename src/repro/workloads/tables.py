@@ -1,0 +1,63 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark harness prints the paper-style rows; this keeps the
+formatting in one place (fixed-width columns, right-aligned numbers,
+``-`` for missing values).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value: Any, *, precision: int = 4) -> str:
+    """Render one cell: floats rounded, None as '-', everything else str()."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 10_000 or abs(value) < 10 ** (-precision):
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Format a fixed-width text table (first column left-aligned)."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have one cell per header")
+    cells: List[List[str]] = [
+        [format_value(v, precision=precision) for v in row] for row in rows
+    ]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+
+    def render_row(values: Sequence[str]) -> str:
+        parts = []
+        for i, v in enumerate(values):
+            parts.append(v.ljust(widths[i]) if i == 0 else v.rjust(widths[i]))
+        return "  ".join(parts)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row([str(h) for h in headers]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(r) for r in cells)
+    return "\n".join(lines)

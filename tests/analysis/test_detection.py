@@ -1,0 +1,64 @@
+"""Tests for bad-link detection metrics."""
+
+import pytest
+
+from repro.analysis.detection import (
+    DetectionReport,
+    bad_links_from_truth,
+    detection_metrics,
+)
+
+TRUTH = {(1, 0): 0.05, (2, 1): 0.45, (3, 2): 0.6, (4, 3): 0.1}
+
+
+class TestBadLinksFromTruth:
+    def test_threshold(self):
+        assert bad_links_from_truth(TRUTH, 0.3) == {(2, 1), (3, 2)}
+        assert bad_links_from_truth(TRUTH, 0.99) == set()
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            bad_links_from_truth(TRUTH, 1.5)
+
+
+class TestDetectionMetrics:
+    def test_perfect_detection(self):
+        report = detection_metrics({(2, 1), (3, 2)}, TRUTH, loss_threshold=0.3)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+        assert report.true_negatives == 2
+
+    def test_miss_and_false_alarm(self):
+        report = detection_metrics({(2, 1), (1, 0)}, TRUTH, loss_threshold=0.3)
+        assert report.true_positives == 1
+        assert report.false_positives == 1
+        assert report.false_negatives == 1
+        assert report.precision == 0.5
+        assert report.recall == 0.5
+
+    def test_empty_flags(self):
+        report = detection_metrics(set(), TRUTH, loss_threshold=0.3)
+        assert report.recall == 0.0
+        assert report.precision == 1.0  # vacuous: no claims, none wrong
+        assert report.f1 == 0.0
+
+    def test_no_bad_links_vacuous_recall(self):
+        report = detection_metrics(set(), TRUTH, loss_threshold=0.99)
+        assert report.recall == 1.0
+        assert report.accuracy == 1.0
+
+    def test_flag_outside_universe_is_false_positive(self):
+        report = detection_metrics({(9, 9)}, TRUTH, loss_threshold=0.3)
+        assert report.false_positives == 1
+
+    def test_explicit_universe(self):
+        report = detection_metrics(
+            {(2, 1)}, TRUTH, loss_threshold=0.3, universe=[(2, 1), (3, 2)]
+        )
+        assert report.true_negatives == 0
+        assert report.false_negatives == 1
+
+    def test_accuracy(self):
+        report = DetectionReport(2, 1, 1, 6)
+        assert report.accuracy == pytest.approx(0.8)

@@ -1,0 +1,95 @@
+"""Tests for radio-energy accounting."""
+
+import pytest
+
+from repro.analysis.energy import RadioEnergyModel, energy_report
+from repro.net.link import uniform_loss_assigner
+from repro.net.routing import RoutingConfig
+from repro.net.simulation import CollectionSimulation, SimulationConfig
+from repro.net.topology import line_topology
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    sim = CollectionSimulation(
+        line_topology(4),
+        seed=95,
+        config=SimulationConfig(
+            duration=120.0, traffic_period=2.0,
+            routing=RoutingConfig(etx_noise_std=0.0),
+        ),
+        link_assigner=uniform_loss_assigner(0.1, 0.3),
+    )
+    return sim.run()
+
+
+class TestRadioEnergyModel:
+    def test_defaults(self):
+        m = RadioEnergyModel()
+        assert m.joules_per_link_bit == pytest.approx(0.4e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadioEnergyModel(tx_joules_per_bit=0.0)
+
+
+class TestEnergyReport:
+    def test_data_plane_scales_with_frames(self, run_result):
+        report = energy_report(run_result, annotation_bits_total=0)
+        total_frames = sum(
+            u.frames_sent for u in run_result.ground_truth.link_usage.values()
+        )
+        expected = total_frames * 28 * 8 * 0.4e-6
+        assert report.data_joules == pytest.approx(expected)
+        assert report.measurement_joules == 0.0
+        assert report.overhead_fraction == 0.0
+
+    def test_annotation_bits_scaled_by_retransmissions(self, run_result):
+        gt = run_result.ground_truth
+        frames = sum(u.frames_sent for u in gt.link_usage.values())
+        exchanges = sum(u.exchanges for u in gt.link_usage.values())
+        retx_factor = frames / exchanges
+        assert retx_factor > 1.0  # lossy links retransmit
+        report = energy_report(run_result, annotation_bits_total=10_000)
+        assert report.annotation_joules == pytest.approx(
+            10_000 * retx_factor * 0.4e-6
+        )
+
+    def test_control_bits_charged_once(self, run_result):
+        report = energy_report(
+            run_result, annotation_bits_total=0, control_bits_total=50_000
+        )
+        assert report.control_joules == pytest.approx(50_000 * 0.4e-6)
+
+    def test_per_packet_normalization(self, run_result):
+        report = energy_report(run_result, annotation_bits_total=8_000)
+        delivered = run_result.ground_truth.packets_delivered
+        assert report.delivered_packets == delivered
+        assert report.microjoules_per_delivered_packet == pytest.approx(
+            1e6 * report.measurement_joules / delivered
+        )
+
+    def test_overhead_fraction_sane_for_dophy(self, run_result):
+        """A ~3-byte annotation on a 28-byte frame is <15% energy overhead."""
+        delivered = run_result.ground_truth.packets_delivered
+        report = energy_report(
+            run_result, annotation_bits_total=delivered * 24
+        )
+        assert 0.0 < report.overhead_fraction < 0.15
+
+    def test_custom_model_and_frame(self, run_result):
+        model = RadioEnergyModel(tx_joules_per_bit=1e-6, rx_joules_per_bit=1e-6)
+        report = energy_report(
+            run_result,
+            annotation_bits_total=0,
+            model=model,
+            data_frame_bits=100,
+        )
+        frames = sum(
+            u.frames_sent for u in run_result.ground_truth.link_usage.values()
+        )
+        assert report.data_joules == pytest.approx(frames * 100 * 2e-6)
+
+    def test_validation(self, run_result):
+        with pytest.raises(ValueError):
+            energy_report(run_result, annotation_bits_total=-1)

@@ -1,0 +1,51 @@
+"""Tests for overhead accounting."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+import pytest
+
+from repro.analysis.overhead import DEFAULT_FRAME_PAYLOAD_BITS, summarize_overhead
+
+
+@dataclass
+class FakeReport:
+    annotation_bits: List[int] = field(default_factory=list)
+    annotation_hops: List[int] = field(default_factory=list)
+
+
+class TestSummarizeOverhead:
+    def test_basic_stats(self):
+        report = FakeReport(annotation_bits=[10, 20, 30], annotation_hops=[1, 2, 3])
+        s = summarize_overhead(report, method="m", control_bits=100)
+        assert s.method == "m"
+        assert s.packets == 3
+        assert s.total_annotation_bits == 60
+        assert s.mean_bits_per_packet == pytest.approx(20.0)
+        assert s.mean_bits_per_hop == pytest.approx(10.0)
+        assert s.control_bits == 100
+        assert s.total_bits == 160
+        assert s.mean_bytes_per_packet == pytest.approx(2.5)
+
+    def test_frame_fraction(self):
+        report = FakeReport(annotation_bits=[56], annotation_hops=[2])
+        s = summarize_overhead(report)
+        assert s.frame_fraction == pytest.approx(56 / DEFAULT_FRAME_PAYLOAD_BITS)
+
+    def test_p95(self):
+        bits = list(range(1, 101))
+        report = FakeReport(annotation_bits=bits, annotation_hops=[1] * 100)
+        s = summarize_overhead(report)
+        assert s.p95_bits_per_packet == pytest.approx(96.0)
+
+    def test_empty_report(self):
+        s = summarize_overhead(FakeReport())
+        assert s.packets == 0
+        assert s.mean_bits_per_packet == 0.0
+        assert s.mean_bits_per_hop == 0.0
+        assert s.frame_fraction == 0.0
+
+    def test_custom_frame_size(self):
+        report = FakeReport(annotation_bits=[50], annotation_hops=[1])
+        s = summarize_overhead(report, frame_payload_bits=100)
+        assert s.frame_fraction == pytest.approx(0.5)

@@ -1,0 +1,97 @@
+"""Tests for the in-run periodic evaluator."""
+
+import pytest
+
+from repro.analysis.timeseries import PeriodicEvaluator
+from repro.core.config import DophyConfig
+from repro.core.dophy import DophySystem
+from repro.net.link import uniform_loss_assigner
+from repro.net.routing import RoutingConfig
+from repro.net.simulation import CollectionSimulation, SimulationConfig
+from repro.net.topology import line_topology
+
+
+def run_with_evaluator(period=20.0, duration=120.0, min_support=0, truth_kind="empirical"):
+    dophy = DophySystem(DophyConfig())
+    evaluator = PeriodicEvaluator(period, min_support=min_support, truth_kind=truth_kind)
+    evaluator.add_dophy("dophy", dophy)
+    sim = CollectionSimulation(
+        line_topology(4),
+        seed=11,
+        config=SimulationConfig(
+            duration=duration, traffic_period=2.0,
+            routing=RoutingConfig(etx_noise_std=0.0),
+        ),
+        link_assigner=uniform_loss_assigner(0.1, 0.3),
+        observers=[dophy, evaluator],
+    )
+    result = sim.run()
+    return evaluator, result
+
+
+class TestPeriodicEvaluator:
+    def test_snapshots_on_schedule(self):
+        evaluator, _ = run_with_evaluator(period=20.0, duration=120.0)
+        curve = evaluator.curve("dophy")
+        assert len(curve) >= 5
+        times = [t for t, _ in curve]
+        assert times == sorted(times)
+        assert times[0] == pytest.approx(20.0)
+
+    def test_accuracy_improves_over_time(self):
+        # Score against the configured model loss so the curve reflects
+        # genuine sampling error (which shrinks with data).
+        evaluator, _ = run_with_evaluator(
+            period=15.0, duration=400.0, truth_kind="model"
+        )
+        curve = [(t, mae) for t, mae in evaluator.curve("dophy") if mae is not None]
+        early = curve[0][1]
+        late = curve[-1][1]
+        assert late < early
+
+    def test_final_point(self):
+        evaluator, _ = run_with_evaluator()
+        point = evaluator.final_point("dophy")
+        assert point is not None
+        assert point.method == "dophy"
+        assert point.links_compared > 0
+        assert evaluator.final_point("missing") is None
+
+    def test_custom_source(self):
+        evaluator = PeriodicEvaluator(30.0)
+        evaluator.add_source("zeros", lambda: {(1, 0): 0.0})
+        sim = CollectionSimulation(
+            line_topology(3),
+            seed=12,
+            config=SimulationConfig(duration=90.0, traffic_period=3.0),
+            link_assigner=uniform_loss_assigner(0.2, 0.3),
+            observers=[evaluator],
+        )
+        sim.run()
+        curve = evaluator.curve("zeros")
+        assert curve
+        # Constant-zero estimates err by roughly the true loss.
+        final_mae = curve[-1][1]
+        assert 0.1 < final_mae < 0.35
+
+    def test_duplicate_source_rejected(self):
+        evaluator = PeriodicEvaluator(10.0)
+        evaluator.add_source("a", dict)
+        with pytest.raises(ValueError):
+            evaluator.add_source("a", dict)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            PeriodicEvaluator(0.0)
+
+    def test_min_support_filters(self):
+        evaluator, _ = run_with_evaluator(min_support=10**9)
+        point = evaluator.final_point("dophy")
+        assert point.links_compared == 0
+        assert point.mae is None
+
+    def test_methods_listing(self):
+        evaluator = PeriodicEvaluator(10.0)
+        evaluator.add_source("b", dict)
+        evaluator.add_source("a", dict)
+        assert evaluator.methods() == ["a", "b"]

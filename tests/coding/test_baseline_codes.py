@@ -1,0 +1,180 @@
+"""Tests for the baseline prefix codes (fixed-width, unary, Elias, Rice)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding.baseline_codes import (
+    EliasDeltaCode,
+    EliasGammaCode,
+    FixedWidthCode,
+    GolombRiceCode,
+    UnaryCode,
+    optimal_rice_parameter,
+)
+from repro.coding.bitio import BitReader
+
+ALL_CODES = [
+    FixedWidthCode(8),
+    UnaryCode(),
+    EliasGammaCode(),
+    EliasDeltaCode(),
+    GolombRiceCode(0),
+    GolombRiceCode(1),
+    GolombRiceCode(3),
+]
+
+
+@pytest.mark.parametrize("code", ALL_CODES, ids=lambda c: c.name)
+def test_roundtrip_small_values(code):
+    values = list(range(0, 40))
+    writer = code.encode_sequence(values)
+    reader = BitReader(writer.getvalue(), writer.bit_length)
+    assert code.decode_sequence(reader, len(values)) == values
+
+
+@pytest.mark.parametrize("code", ALL_CODES, ids=lambda c: c.name)
+def test_code_length_matches_encoding(code):
+    for v in [0, 1, 2, 5, 17, 63, 200]:
+        writer = code.encode_sequence([v])
+        assert code.code_length(v) == writer.bit_length
+
+
+@pytest.mark.parametrize("code", ALL_CODES, ids=lambda c: c.name)
+def test_rejects_negative(code):
+    with pytest.raises(ValueError):
+        code.encode_sequence([-1])
+
+
+@pytest.mark.parametrize("code", ALL_CODES, ids=lambda c: c.name)
+def test_rejects_bool(code):
+    with pytest.raises(TypeError):
+        code.encode_sequence([True])
+
+
+class TestFixedWidth:
+    def test_exact_width(self):
+        code = FixedWidthCode(4)
+        w = code.encode_sequence([5, 10])
+        assert w.bit_length == 8
+
+    def test_overflow_raises(self):
+        code = FixedWidthCode(4)
+        with pytest.raises(ValueError):
+            code.encode_sequence([16])
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            FixedWidthCode(0)
+
+
+class TestUnary:
+    def test_lengths(self):
+        code = UnaryCode()
+        assert code.code_length(0) == 1
+        assert code.code_length(5) == 6
+
+
+class TestEliasGamma:
+    def test_known_codewords(self):
+        # gamma over v+1: value 0 -> "1"; value 1 -> "010"; value 2 -> "011".
+        code = EliasGammaCode()
+        assert code.encode_sequence([0]).to_bits() == [1]
+        assert code.encode_sequence([1]).to_bits() == [0, 1, 0]
+        assert code.encode_sequence([2]).to_bits() == [0, 1, 1]
+
+    def test_lengths_grow_logarithmically(self):
+        code = EliasGammaCode()
+        assert code.code_length(0) == 1
+        assert code.code_length(1) == 3
+        assert code.code_length(7) == 7
+        assert code.code_length(1000) == 19
+
+
+class TestEliasDelta:
+    def test_shorter_than_gamma_for_large_values(self):
+        gamma, delta = EliasGammaCode(), EliasDeltaCode()
+        assert delta.code_length(10_000) < gamma.code_length(10_000)
+
+    def test_value_zero(self):
+        code = EliasDeltaCode()
+        w = code.encode_sequence([0])
+        r = BitReader(w.getvalue(), w.bit_length)
+        assert code.decode_value(r) == 0
+
+
+class TestGolombRice:
+    def test_k0_equals_unary(self):
+        rice0, unary = GolombRiceCode(0), UnaryCode()
+        for v in range(10):
+            assert rice0.code_length(v) == unary.code_length(v)
+
+    def test_known_codeword(self):
+        # k=2, v=6: quotient 1 -> "10", remainder 2 -> "10".
+        code = GolombRiceCode(2)
+        assert code.encode_sequence([6]).to_bits() == [1, 0, 1, 0]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            GolombRiceCode(-1)
+
+
+class TestOptimalRiceParameter:
+    def test_small_mean_gives_zero(self):
+        assert optimal_rice_parameter(0.05) == 0
+        assert optimal_rice_parameter(0.0) == 0
+
+    def test_monotone_in_mean(self):
+        ks = [optimal_rice_parameter(m) for m in [0.3, 1.0, 4.0, 16.0, 64.0]]
+        assert ks == sorted(ks)
+        assert ks[-1] >= 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            optimal_rice_parameter(-1.0)
+
+    def test_chosen_k_is_near_optimal_for_geometric(self):
+        """The selected k is within 5% of the best k's expected length."""
+        import math
+
+        mean = 3.0
+        p_success = 1.0 / (1.0 + mean)
+
+        def expected_length(k):
+            # E[len] under geometric(mean), truncated sum.
+            total, prob_mass = 0.0, 0.0
+            for v in range(2000):
+                p = p_success * (1 - p_success) ** v
+                total += p * GolombRiceCode(k).code_length(v)
+                prob_mass += p
+            return total / prob_mass
+
+        chosen = optimal_rice_parameter(mean)
+        best = min(range(8), key=expected_length)
+        assert expected_length(chosen) <= expected_length(best) * 1.05
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=100_000), max_size=30),
+)
+def test_property_variable_length_codes_roundtrip(values):
+    for code in [UnaryCode(), EliasGammaCode(), EliasDeltaCode(), GolombRiceCode(2)]:
+        if code.name == "unary" and any(v > 300 for v in values):
+            continue  # unary length explodes; skip pathological sizes
+        writer = code.encode_sequence(values)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        assert code.decode_sequence(reader, len(values)) == values
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), max_size=30))
+def test_property_mixed_codes_share_stream(values):
+    """Different codes can be interleaved in one stream and still decode."""
+    gamma, rice = EliasGammaCode(), GolombRiceCode(1)
+    from repro.coding.bitio import BitWriter
+
+    w = BitWriter()
+    for i, v in enumerate(values):
+        (gamma if i % 2 == 0 else rice).encode_value(w, v)
+    r = BitReader(w.getvalue(), w.bit_length)
+    out = [(gamma if i % 2 == 0 else rice).decode_value(r) for i in range(len(values))]
+    assert out == values

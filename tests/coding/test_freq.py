@@ -1,0 +1,209 @@
+"""Tests for static and adaptive frequency tables."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding.freq import AdaptiveFrequencyTable, FrequencyTable
+
+
+class TestFrequencyTable:
+    def test_basic_intervals(self):
+        t = FrequencyTable([2, 3, 5])
+        assert t.total == 10
+        assert t.interval(0) == (0, 2, 10)
+        assert t.interval(1) == (2, 5, 10)
+        assert t.interval(2) == (5, 10, 10)
+
+    def test_symbol_for_covers_all_values(self):
+        t = FrequencyTable([2, 3, 5])
+        expected = [0, 0, 1, 1, 1, 2, 2, 2, 2, 2]
+        assert [t.symbol_for(v) for v in range(10)] == expected
+
+    def test_symbol_for_out_of_range(self):
+        t = FrequencyTable([1, 1])
+        with pytest.raises(ValueError):
+            t.symbol_for(2)
+        with pytest.raises(ValueError):
+            t.symbol_for(-1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FrequencyTable([])
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ValueError):
+            FrequencyTable([1, 0, 2])
+
+    def test_uniform(self):
+        t = FrequencyTable.uniform(4)
+        assert t.probabilities() == [0.25] * 4
+
+    def test_uniform_requires_positive(self):
+        with pytest.raises(ValueError):
+            FrequencyTable.uniform(0)
+
+    def test_from_counts_smoothing(self):
+        t = FrequencyTable.from_counts([10, 0, 0])
+        assert t.frequency(1) == 1  # smoothed, still encodable
+        assert t.frequency(0) == 11
+
+    def test_from_counts_rejects_zero_smoothing(self):
+        with pytest.raises(ValueError):
+            FrequencyTable.from_counts([1, 2], smoothing=0)
+
+    def test_from_probabilities(self):
+        t = FrequencyTable.from_probabilities([0.9, 0.09, 0.01], precision=1000)
+        probs = t.probabilities()
+        assert probs[0] > probs[1] > probs[2] > 0
+        assert abs(probs[0] - 0.9) < 0.02
+
+    def test_from_probabilities_all_zero_falls_back_uniform(self):
+        t = FrequencyTable.from_probabilities([0.0, 0.0])
+        assert t.probabilities() == [0.5, 0.5]
+
+    def test_from_probabilities_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FrequencyTable.from_probabilities([0.5, -0.1])
+
+    def test_entropy_uniform(self):
+        t = FrequencyTable.uniform(8)
+        assert math.isclose(t.entropy_bits(), 3.0)
+
+    def test_entropy_deterministic_near_zero(self):
+        t = FrequencyTable([1000, 1])
+        assert t.entropy_bits() < 0.02
+
+    def test_expected_code_length_is_cross_entropy(self):
+        # Coding with the true distribution equals its entropy.
+        t = FrequencyTable([1, 1, 2])
+        truth = t.probabilities()
+        assert math.isclose(t.expected_code_length(truth), t.entropy_bits())
+
+    def test_expected_code_length_mismatch_exceeds_entropy(self):
+        model = FrequencyTable([1, 1])
+        truth = [0.9, 0.1]
+        h = -sum(p * math.log2(p) for p in truth)
+        assert model.expected_code_length(truth) > h
+
+    def test_expected_code_length_length_mismatch(self):
+        with pytest.raises(ValueError):
+            FrequencyTable([1, 1]).expected_code_length([1.0])
+
+    def test_serialized_size(self):
+        t = FrequencyTable.uniform(5)
+        assert t.serialized_size_bits(bits_per_frequency=12) == 8 + 5 * 12
+
+    def test_equality_and_hash(self):
+        a = FrequencyTable([1, 2, 3])
+        b = FrequencyTable([1, 2, 3])
+        c = FrequencyTable([1, 2, 4])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestAdaptiveFrequencyTable:
+    def test_starts_uniform(self):
+        t = AdaptiveFrequencyTable(4)
+        assert t.total == 4
+        assert all(t.frequency(s) == 1 for s in range(4))
+
+    def test_update_shifts_mass(self):
+        t = AdaptiveFrequencyTable(3, increment=10)
+        t.update(1)
+        assert t.frequency(1) == 11
+        assert t.total == 13
+        lo, hi, total = t.interval(1)
+        assert (hi - lo) == 11 and total == 13
+
+    def test_intervals_partition_total(self):
+        t = AdaptiveFrequencyTable(5, increment=7)
+        for s in [0, 2, 2, 4, 1, 2]:
+            t.update(s)
+        edges = [t.interval(s) for s in range(5)]
+        assert edges[0][0] == 0
+        for prev, cur in zip(edges, edges[1:]):
+            assert prev[1] == cur[0]
+        assert edges[-1][1] == t.total
+
+    def test_symbol_for_matches_intervals(self):
+        t = AdaptiveFrequencyTable(4, increment=5)
+        for s in [3, 3, 0, 1]:
+            t.update(s)
+        for sym in range(4):
+            lo, hi, _ = t.interval(sym)
+            for v in (lo, hi - 1):
+                assert t.symbol_for(v) == sym
+
+    def test_rescale_keeps_symbols_encodable(self):
+        t = AdaptiveFrequencyTable(3, increment=1000, max_total=5000)
+        for _ in range(100):
+            t.update(0)
+        assert t.total <= 5000 + 1000
+        assert all(t.frequency(s) >= 1 for s in range(3))
+
+    def test_snapshot_freezes_state(self):
+        t = AdaptiveFrequencyTable(3, increment=2)
+        t.update(2)
+        snap = t.snapshot()
+        t.update(0)
+        assert snap.frequency(2) == 3
+        assert snap.frequency(0) == 1  # pre-update value
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            AdaptiveFrequencyTable(0)
+        with pytest.raises(ValueError):
+            AdaptiveFrequencyTable(2, increment=0)
+
+    def test_symbol_out_of_range(self):
+        t = AdaptiveFrequencyTable(2)
+        with pytest.raises(ValueError):
+            t.update(2)
+        with pytest.raises(ValueError):
+            t.interval(-1)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=20))
+def test_property_static_intervals_partition(freqs):
+    """Static-table intervals tile [0, total) exactly."""
+    t = FrequencyTable(freqs)
+    cursor = 0
+    for s in range(t.num_symbols):
+        lo, hi, total = t.interval(s)
+        assert lo == cursor and hi > lo and total == t.total
+        cursor = hi
+    assert cursor == t.total
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=12),
+    st.data(),
+)
+def test_property_symbol_for_inverts_interval(freqs, data):
+    t = FrequencyTable(freqs)
+    value = data.draw(st.integers(min_value=0, max_value=t.total - 1))
+    sym = t.symbol_for(value)
+    lo, hi, _ = t.interval(sym)
+    assert lo <= value < hi
+
+
+@given(
+    st.integers(min_value=1, max_value=10),
+    st.lists(st.integers(min_value=0, max_value=9), max_size=60),
+)
+def test_property_adaptive_consistency(n, updates):
+    """Adaptive table keeps interval/symbol_for consistent after any update sequence."""
+    t = AdaptiveFrequencyTable(n, increment=3)
+    for u in updates:
+        t.update(u % n)
+    cursor = 0
+    for s in range(n):
+        lo, hi, total = t.interval(s)
+        assert lo == cursor and total == t.total
+        assert t.symbol_for(lo) == s
+        assert t.symbol_for(hi - 1) == s
+        cursor = hi
+    assert cursor == t.total

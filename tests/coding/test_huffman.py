@@ -1,0 +1,116 @@
+"""Tests for the canonical Huffman coder."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.bitio import BitReader
+from repro.coding.freq import FrequencyTable
+from repro.coding.huffman import HuffmanCode
+
+
+class TestConstruction:
+    def test_uniform_four_symbols_two_bits(self):
+        code = HuffmanCode(FrequencyTable.uniform(4))
+        assert all(code.code_length(s) == 2 for s in range(4))
+
+    def test_skewed_gives_short_code_to_common_symbol(self):
+        code = HuffmanCode(FrequencyTable([100, 10, 5, 1]))
+        assert code.code_length(0) == 1
+        assert code.code_length(3) >= 3
+
+    def test_single_symbol(self):
+        code = HuffmanCode(FrequencyTable([7]))
+        assert code.code_length(0) == 1  # degenerate alphabet still needs a bit
+
+    def test_kraft_equality(self):
+        """Huffman codes satisfy Kraft with equality (full binary tree)."""
+        code = HuffmanCode(FrequencyTable([13, 7, 4, 2, 1, 1]))
+        assert sum(2.0 ** -code.code_length(s) for s in range(6)) == pytest.approx(1.0)
+
+    def test_canonical_codes_are_prefix_free(self):
+        code = HuffmanCode(FrequencyTable([40, 30, 15, 10, 5]))
+        words = [
+            format(code._codes[s][0], f"0{code._codes[s][1]}b") for s in range(5)
+        ]
+        for i, a in enumerate(words):
+            for j, b in enumerate(words):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_expected_length_within_one_bit_of_entropy(self):
+        table = FrequencyTable([500, 200, 150, 100, 50])
+        code = HuffmanCode(table)
+        h = table.entropy_bits()
+        assert h <= code.expected_length() < h + 1.0
+
+    def test_expected_length_mismatched_distribution(self):
+        code = HuffmanCode(FrequencyTable([1, 1]))
+        with pytest.raises(ValueError):
+            code.expected_length([1.0])
+
+
+class TestRoundTrip:
+    def test_basic(self):
+        code = HuffmanCode(FrequencyTable([10, 4, 2, 1]))
+        seq = [0, 1, 0, 3, 2, 0, 0, 1]
+        w = code.encode_sequence(seq)
+        assert code.decode_sequence(BitReader(w.getvalue(), w.bit_length), len(seq)) == seq
+
+    def test_from_probabilities(self):
+        code = HuffmanCode.from_probabilities([0.7, 0.2, 0.1])
+        seq = [0, 0, 2, 1, 0]
+        w = code.encode_sequence(seq)
+        assert code.decode_sequence(BitReader(w.getvalue(), w.bit_length), len(seq)) == seq
+
+    def test_negative_count_rejected(self):
+        code = HuffmanCode(FrequencyTable([1, 1]))
+        with pytest.raises(ValueError):
+            code.decode_sequence(BitReader(b""), -1)
+
+
+class TestVsArithmetic:
+    def test_arithmetic_beats_huffman_on_skewed_source(self):
+        """Below-one-bit symbols: the structural prefix-code floor."""
+        from repro.coding.arithmetic import ArithmeticDecoder, ArithmeticEncoder
+
+        table = FrequencyTable([950, 40, 9, 1])
+        code = HuffmanCode(table)
+        seq = [0] * 960 + [1] * 30 + [2] * 9 + [3]
+        huff_bits = code.encode_sequence(seq).bit_length
+        enc = ArithmeticEncoder()
+        for s in seq:
+            enc.encode_symbol(table, s)
+        _, arith_bits = enc.finish()
+        assert huff_bits >= len(seq)  # >= 1 bit/symbol, always
+        assert arith_bits < 0.5 * huff_bits
+
+    def test_huffman_near_arithmetic_on_uniform(self):
+        from repro.coding.arithmetic import ArithmeticEncoder
+
+        table = FrequencyTable.uniform(4)
+        code = HuffmanCode(table)
+        seq = [i % 4 for i in range(400)]
+        huff_bits = code.encode_sequence(seq).bit_length
+        enc = ArithmeticEncoder()
+        for s in seq:
+            enc.encode_symbol(table, s)
+        _, arith_bits = enc.finish()
+        assert abs(huff_bits - arith_bits) < 8  # both at ~2 bits/symbol
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    freqs=st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=12),
+    data=st.data(),
+)
+def test_property_roundtrip(freqs, data):
+    code = HuffmanCode(FrequencyTable(freqs))
+    seq = data.draw(
+        st.lists(st.integers(min_value=0, max_value=len(freqs) - 1), max_size=80)
+    )
+    w = code.encode_sequence(seq)
+    out = code.decode_sequence(BitReader(w.getvalue(), w.bit_length), len(seq))
+    assert out == seq

@@ -1,0 +1,247 @@
+"""Round-trip tests for the annotation codec and sink decoder."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.annotation import AnnotationCodec
+from repro.core.config import DophyConfig
+from repro.core.decoder import AnnotationDecodeError, decode_annotation
+from repro.core.model import ModelManager
+from repro.core.symbols import SymbolSet
+
+
+def make_codec(num_nodes=16, sink=0, **config_kw):
+    cfg = DophyConfig(**config_kw)
+    ss = SymbolSet(cfg.max_count, cfg.aggregation_threshold)
+    mm = ModelManager(
+        ss,
+        initial_expected_loss=cfg.initial_expected_loss,
+        update_period=cfg.model_update_period,
+        num_nodes_for_dissemination=num_nodes,
+    )
+    return AnnotationCodec(cfg, mm, num_nodes)
+
+
+def annotate_path(codec, path, counts):
+    """Simulate hop-by-hop annotation over a node path."""
+    ann = codec.new_annotation()
+    for sender, receiver, count in zip(path, path[1:], counts):
+        codec.annotate_hop(ann, sender, receiver, count)
+    return ann
+
+
+class TestRoundTrip:
+    def test_simple_path(self):
+        codec = make_codec()
+        path = [5, 3, 1, 0]
+        counts = [0, 2, 1]
+        ann = annotate_path(codec, path, counts)
+        data, bits = codec.serialize(ann)
+        decoded = decode_annotation(data, bits, codec, origin=5, sink=0)
+        assert decoded.path == path
+        assert [h.retx_count for h in decoded.hops] == counts
+        assert all(h.exact for h in decoded.hops)
+
+    def test_escape_counts_exact_mode(self):
+        codec = make_codec(aggregation_threshold=3, escape_mode="exact")
+        path = [7, 2, 0]
+        counts = [9, 15]  # both escape
+        ann = annotate_path(codec, path, counts)
+        data, bits = codec.serialize(ann)
+        decoded = decode_annotation(data, bits, codec, origin=7, sink=0)
+        assert [h.retx_count for h in decoded.hops] == counts
+
+    def test_escape_counts_censored_mode(self):
+        codec = make_codec(aggregation_threshold=3, escape_mode="censored")
+        path = [7, 2, 0]
+        counts = [9, 1]
+        ann = annotate_path(codec, path, counts)
+        data, bits = codec.serialize(ann)
+        decoded = decode_annotation(data, bits, codec, origin=7, sink=0)
+        first, second = decoded.hops
+        assert not first.exact
+        assert first.retx_bounds == (3, 30)
+        assert second.exact and second.retx_count == 1
+
+    def test_zero_hop_annotation(self):
+        """A packet generated at a sink neighbor can have a single hop; zero
+        hops only occurs for sink-origin packets, but the format permits it."""
+        codec = make_codec()
+        ann = codec.new_annotation()
+        data, bits = codec.serialize(ann)
+        decoded = decode_annotation(data, bits, codec, origin=4, sink=0)
+        assert decoded.hops == []
+
+    def test_assumed_path_mode(self):
+        codec = make_codec(path_encoding="assumed")
+        path = [9, 4, 0]
+        counts = [1, 0]
+        ann = annotate_path(codec, path, counts)
+        data, bits = codec.serialize(ann)
+        decoded = decode_annotation(
+            data, bits, codec, origin=9, sink=0, assumed_path=path
+        )
+        assert decoded.path == path
+        assert [h.retx_count for h in decoded.hops] == counts
+
+    def test_assumed_mode_is_smaller(self):
+        explicit = make_codec(path_encoding="explicit")
+        assumed = make_codec(path_encoding="assumed")
+        path = [9, 4, 2, 1, 0]
+        counts = [0, 0, 1, 0]
+        _, bits_explicit = explicit.serialize(annotate_path(explicit, path, counts))
+        _, bits_assumed = assumed.serialize(annotate_path(assumed, path, counts))
+        assert bits_assumed < bits_explicit
+
+    def test_counts_clamped_to_max(self):
+        codec = make_codec(aggregation_threshold=None)
+        ann = codec.new_annotation()
+        codec.annotate_hop(ann, 2, 0, 99)  # beyond max_count=30 -> clamped
+        data, bits = codec.serialize(ann)
+        decoded = decode_annotation(data, bits, codec, origin=2, sink=0)
+        assert decoded.hops[0].retx_count == 30
+
+    def test_epoch_travels_with_annotation(self):
+        codec = make_codec()
+        mm = codec.models
+        ann_old = codec.new_annotation()
+        codec.annotate_hop(ann_old, 3, 0, 0)
+        # Publish a new model while the packet is "in flight".
+        mm.observe_symbols([0] * 50, time=1.0)
+        assert mm.maybe_update(10.0)
+        ann_new = codec.new_annotation()
+        codec.annotate_hop(ann_new, 3, 0, 0)
+        assert ann_old.epoch == 0 and ann_new.epoch == 1
+        for ann, origin in [(ann_old, 3), (ann_new, 3)]:
+            data, bits = codec.serialize(ann)
+            decoded = decode_annotation(data, bits, codec, origin=origin, sink=0)
+            assert decoded.epoch == ann.epoch
+            assert decoded.hops[0].retx_count == 0
+
+
+class TestWireSizeAccounting:
+    def test_wire_size_matches_serialization(self):
+        codec = make_codec()
+        path = [5, 3, 1, 0]
+        ann = annotate_path(codec, path, [0, 4, 1])
+        predicted = codec.wire_size_bits(ann)
+        _, actual = codec.serialize(ann)
+        assert predicted == actual
+
+    def test_header_bits_gamma_hop_count(self):
+        codec = make_codec()
+        ann = codec.new_annotation()
+        short = codec.header_bits(ann)  # hop_count=0 -> gamma is 1 bit
+        for hop in range(9):
+            codec.annotate_hop(ann, 5, 0 if hop == 8 else hop + 1, 0)
+        long = codec.header_bits(ann)
+        assert long > short  # gamma grows with hop count
+        assert short == codec.models.epoch_field_bits + 1
+
+    def test_size_grows_with_hops(self):
+        codec = make_codec()
+        sizes = []
+        ann = codec.new_annotation()
+        for hop in range(1, 8):
+            codec.annotate_hop(ann, hop - 1, hop, 0)
+            sizes.append(codec.wire_size_bits(ann))
+        assert sizes == sorted(sizes)
+
+    def test_good_links_cost_few_bits_per_hop(self):
+        """Counts of 0 under a matched skewed model cost < 1 bit each."""
+        codec = make_codec(
+            path_encoding="assumed", initial_expected_loss=0.05
+        )
+        ann = codec.new_annotation()
+        for hop in range(1, 11):
+            codec.annotate_hop(ann, hop - 1, hop, 0)
+        _, bits = codec.serialize(ann)
+        payload = bits - codec.header_bits(ann)
+        assert payload / 10 < 1.0
+
+
+class TestDecodeErrors:
+    def test_assumed_mode_requires_path(self):
+        codec = make_codec(path_encoding="assumed")
+        ann = annotate_path(codec, [3, 1, 0], [0, 0])
+        data, bits = codec.serialize(ann)
+        with pytest.raises(AnnotationDecodeError):
+            decode_annotation(data, bits, codec, origin=3, sink=0)
+
+    def test_assumed_path_length_mismatch(self):
+        codec = make_codec(path_encoding="assumed")
+        ann = annotate_path(codec, [3, 1, 0], [0, 0])
+        data, bits = codec.serialize(ann)
+        with pytest.raises(AnnotationDecodeError):
+            decode_annotation(
+                data, bits, codec, origin=3, sink=0, assumed_path=[3, 0]
+            )
+
+    def test_truncated_annotation_detected(self):
+        """Truncation is caught in the header, the path, or the path checks."""
+        codec = make_codec()
+        ann = annotate_path(codec, [5, 3, 1, 0], [4, 4, 4])
+        data, bits = codec.serialize(ann)
+        for keep in [1, codec.models.epoch_field_bits, bits // 4]:
+            with pytest.raises(AnnotationDecodeError):
+                decode_annotation(data, keep, codec, origin=5, sink=0)
+
+    def test_wrong_sink_detected(self):
+        codec = make_codec()
+        ann = annotate_path(codec, [5, 3, 1], [0, 0])  # path ends at 1, not sink 0
+        data, bits = codec.serialize(ann)
+        with pytest.raises(AnnotationDecodeError):
+            decode_annotation(data, bits, codec, origin=5, sink=0)
+
+    def test_long_paths_supported(self):
+        """Gamma hop counts impose no fixed-field limit on path length."""
+        codec = make_codec(num_nodes=256)
+        ann = codec.new_annotation()
+        for hop in range(99):
+            codec.annotate_hop(ann, 7, hop % 255 + 1, 0)
+        codec.annotate_hop(ann, 7, 0, 0)
+        data, bits = codec.serialize(ann)
+        decoded = decode_annotation(data, bits, codec, origin=7, sink=0)
+        assert len(decoded.hops) == 100
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_property_annotation_roundtrip(data):
+    """Any path and any counts round-trip through serialize/decode."""
+    num_nodes = data.draw(st.integers(min_value=4, max_value=64))
+    threshold = data.draw(st.one_of(st.none(), st.integers(min_value=1, max_value=8)))
+    codec = make_codec(
+        num_nodes=num_nodes,
+        aggregation_threshold=threshold,
+        escape_mode=data.draw(st.sampled_from(["exact", "censored"])),
+    )
+    hop_count = data.draw(st.integers(min_value=1, max_value=10))
+    # Intermediate nodes arbitrary; path ends at the sink (0).
+    middle = data.draw(
+        st.lists(
+            st.integers(min_value=1, max_value=num_nodes - 1),
+            min_size=hop_count - 1,
+            max_size=hop_count - 1,
+        )
+    )
+    origin = data.draw(st.integers(min_value=1, max_value=num_nodes - 1))
+    path = [origin] + middle + [0]
+    counts = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=30),
+            min_size=hop_count,
+            max_size=hop_count,
+        )
+    )
+    ann = annotate_path(codec, path, counts)
+    payload, bits = codec.serialize(ann)
+    decoded = decode_annotation(payload, bits, codec, origin=origin, sink=0)
+    assert decoded.path == path
+    for hop, count in zip(decoded.hops, counts):
+        if hop.exact:
+            assert hop.retx_count == count
+        else:
+            lo, hi = hop.retx_bounds
+            assert lo <= count <= hi

@@ -1,0 +1,143 @@
+"""Tests for automatic aggregation-threshold (K) selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.autotune import (
+    aggregation_cost_bits_per_hop,
+    choose_aggregation_threshold,
+)
+from repro.core.config import DophyConfig
+from repro.core.dophy import DophySystem
+from repro.net.link import uniform_loss_assigner
+from repro.net.routing import RoutingConfig
+from repro.net.simulation import CollectionSimulation, SimulationConfig
+from repro.net.topology import line_topology
+
+
+def geometric_histogram(loss, max_count, scale=10_000):
+    probs = [(1 - loss) * loss**c for c in range(max_count + 1)]
+    return [p * scale for p in probs]
+
+
+class TestCostModel:
+    def test_cost_components_tradeoff(self):
+        """Bigger K costs dissemination; smaller K costs escape extras."""
+        hist = geometric_histogram(0.4, 30)
+        low_traffic = dict(num_nodes=100, hops_per_update=200.0)
+        cost_small = aggregation_cost_bits_per_hop(hist, 1, **low_traffic)
+        cost_big = aggregation_cost_bits_per_hop(hist, 30, **low_traffic)
+        # With little traffic per update, big tables dominate.
+        assert cost_big > cost_small
+
+    def test_heavy_traffic_amortizes_tables(self):
+        hist = geometric_histogram(0.5, 30)
+        heavy = dict(num_nodes=100, hops_per_update=1e7)
+        # With amortization nearly free, larger K is never much worse.
+        cost_small = aggregation_cost_bits_per_hop(hist, 1, **heavy)
+        cost_big = aggregation_cost_bits_per_hop(hist, 10, **heavy)
+        assert cost_big <= cost_small  # escapes cost more than bigger alphabet
+
+    def test_validation(self):
+        hist = geometric_histogram(0.2, 10)
+        with pytest.raises(ValueError):
+            aggregation_cost_bits_per_hop(hist, 0, num_nodes=10, hops_per_update=10)
+        with pytest.raises(ValueError):
+            aggregation_cost_bits_per_hop(hist, 11, num_nodes=10, hops_per_update=10)
+        with pytest.raises(ValueError):
+            aggregation_cost_bits_per_hop(hist, 2, num_nodes=10, hops_per_update=0)
+
+
+class TestChooseThreshold:
+    def test_good_links_small_k(self):
+        """Near-zero counts: a tiny alphabet suffices."""
+        hist = geometric_histogram(0.05, 30)
+        k = choose_aggregation_threshold(
+            hist, max_count=30, num_nodes=100, hops_per_update=2000.0
+        )
+        assert k <= 3
+
+    def test_lossy_links_larger_k(self):
+        hist = geometric_histogram(0.6, 30)
+        k_lossy = choose_aggregation_threshold(
+            hist, max_count=30, num_nodes=100, hops_per_update=50_000.0
+        )
+        hist_good = geometric_histogram(0.05, 30)
+        k_good = choose_aggregation_threshold(
+            hist_good, max_count=30, num_nodes=100, hops_per_update=50_000.0
+        )
+        assert k_lossy > k_good
+
+    def test_light_traffic_shrinks_k(self):
+        hist = geometric_histogram(0.5, 30)
+        k_light = choose_aggregation_threshold(
+            hist, max_count=30, num_nodes=200, hops_per_update=100.0
+        )
+        k_heavy = choose_aggregation_threshold(
+            hist, max_count=30, num_nodes=200, hops_per_update=1e6
+        )
+        assert k_light <= k_heavy
+
+    def test_histogram_length_validated(self):
+        with pytest.raises(ValueError):
+            choose_aggregation_threshold(
+                [1.0, 2.0], max_count=30, num_nodes=10, hops_per_update=10.0
+            )
+
+
+class TestAutoAggregationEndToEnd:
+    def run_system(self, auto, loss_lo=0.02, loss_hi=0.08):
+        dophy = DophySystem(
+            DophyConfig(
+                aggregation_threshold=8,  # deliberately oversized seed
+                auto_aggregation=auto,
+                model_update_period=40.0,
+                path_encoding="assumed",
+            )
+        )
+        sim = CollectionSimulation(
+            line_topology(6),
+            seed=131,
+            config=SimulationConfig(
+                duration=400.0, traffic_period=2.0,
+                routing=RoutingConfig(etx_noise_std=0.0),
+            ),
+            link_assigner=uniform_loss_assigner(loss_lo, loss_hi),
+            observers=[dophy],
+        )
+        result = sim.run()
+        return dophy, result
+
+    def test_auto_adapts_k_and_decodes(self):
+        dophy, result = self.run_system(auto=True)
+        report = dophy.report()
+        assert report.decode_failures == 0
+        assert report.packets_decoded == result.ground_truth.packets_delivered
+        # On near-perfect links the tuner shrinks the oversized seed K.
+        final_k = dophy.models.symbol_set_for(
+            dophy.models.current_epoch
+        ).aggregation_threshold
+        assert final_k < 8
+
+    def test_auto_reduces_total_overhead(self):
+        auto_dophy, _ = self.run_system(auto=True)
+        fixed_dophy, _ = self.run_system(auto=False)
+        assert (
+            auto_dophy.report().total_overhead_bits
+            < fixed_dophy.report().total_overhead_bits
+        )
+
+    def test_estimates_unaffected_by_auto(self):
+        auto_dophy, _ = self.run_system(auto=True)
+        fixed_dophy, _ = self.run_system(auto=False)
+        a = auto_dophy.report().estimates
+        b = fixed_dophy.report().estimates
+        assert set(a) == set(b)
+        for link in a:
+            assert a[link].loss == pytest.approx(b[link].loss, abs=1e-12)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DophyConfig(auto_aggregation=True, model_update_period=None)
+        with pytest.raises(ValueError):
+            DophyConfig(auto_aggregation=True, aggregation_threshold=None)

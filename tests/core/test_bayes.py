@@ -1,0 +1,157 @@
+"""Tests for the Bayesian per-link estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.bayes import BayesianLinkEstimator
+from repro.core.estimator import PerLinkEstimator
+
+LINK = (2, 1)
+
+
+def feed_geometric(est, loss, n, rng, max_attempts=31):
+    for _ in range(n):
+        a = 1
+        while rng.random() < loss and a < max_attempts:
+            a += 1
+        est.add_exact(LINK, a - 1)
+
+
+class TestPosterior:
+    def test_converges_to_truth(self):
+        rng = np.random.default_rng(1)
+        est = BayesianLinkEstimator(max_attempts=31)
+        feed_geometric(est, 0.35, 3000, rng)
+        result = est.estimate(LINK)
+        assert abs(result.posterior_mean - 0.35) < 0.03
+        lo, hi = result.credible_interval
+        assert lo < 0.35 < hi
+
+    def test_no_evidence_returns_none(self):
+        est = BayesianLinkEstimator(max_attempts=31)
+        assert est.estimate(LINK) is None
+        assert est.estimates() == {}
+
+    def test_prior_dominates_small_samples(self):
+        """One zero-retx sample barely moves the Beta(1,4) prior."""
+        est = BayesianLinkEstimator(max_attempts=31, prior_alpha=1.0, prior_beta=4.0)
+        est.add_exact(LINK, 0)
+        result = est.estimate(LINK)
+        # Prior mean 0.2; one clean sample shifts it only slightly down.
+        assert 0.1 < result.posterior_mean < 0.2
+
+    def test_credible_interval_narrows_with_data(self):
+        rng = np.random.default_rng(2)
+        def width(n):
+            est = BayesianLinkEstimator(max_attempts=31)
+            feed_geometric(est, 0.3, n, rng)
+            lo, hi = est.estimate(LINK).credible_interval
+            return hi - lo
+
+        assert width(2000) < width(20)
+
+    def test_grid_matches_conjugate_when_unconstrained(self):
+        """With deep caps and no censoring, grid ~= closed-form Beta."""
+        rng = np.random.default_rng(3)
+        grid_est = BayesianLinkEstimator(max_attempts=500, truncation_correction=True)
+        conj_est = BayesianLinkEstimator(max_attempts=500, truncation_correction=False)
+        for est in (grid_est, conj_est):
+            r = np.random.default_rng(3)
+            feed_geometric(est, 0.4, 800, r, max_attempts=500)
+        g = grid_est.estimate(LINK)
+        c = conj_est.estimate(LINK)
+        assert g.posterior_mean == pytest.approx(c.posterior_mean, abs=0.005)
+
+    def test_censored_evidence_informs(self):
+        rng = np.random.default_rng(4)
+        est = BayesianLinkEstimator(max_attempts=31)
+        K = 2
+        for _ in range(2000):
+            a = 1
+            while rng.random() < 0.5 and a < 31:
+                a += 1
+            c = a - 1
+            if c >= K:
+                est.add_censored(LINK, K, 30)
+            else:
+                est.add_exact(LINK, c)
+        result = est.estimate(LINK)
+        assert abs(result.posterior_mean - 0.5) < 0.05
+
+    def test_truncation_correction_matters_on_tight_cap(self):
+        rng = np.random.default_rng(5)
+        loss, cap = 0.7, 4
+        corrected = BayesianLinkEstimator(max_attempts=cap)
+        naive = BayesianLinkEstimator(max_attempts=cap, truncation_correction=False)
+        for _ in range(4000):
+            a = 1
+            while rng.random() < loss:
+                a += 1
+            if a > cap:
+                continue  # hop failed; annotation never delivered
+            corrected.add_exact(LINK, a - 1)
+            naive.add_exact(LINK, a - 1)
+        err_corr = abs(corrected.estimate(LINK).posterior_mean - loss)
+        err_naive = abs(naive.estimate(LINK).posterior_mean - loss)
+        assert err_corr < err_naive
+        assert err_corr < 0.06
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BayesianLinkEstimator(max_attempts=0)
+        with pytest.raises(ValueError):
+            BayesianLinkEstimator(max_attempts=5, prior_alpha=0.0)
+        est = BayesianLinkEstimator(max_attempts=5)
+        with pytest.raises(ValueError):
+            est.add_exact(LINK, 5)
+        with pytest.raises(ValueError):
+            est.add_censored(LINK, 3, 2)
+
+
+class TestShrinkage:
+    def test_beats_mle_on_sparse_links(self):
+        """Network-wide MAE: Bayesian shrinkage wins when most links have
+        few samples."""
+        rng = np.random.default_rng(6)
+        true_losses = {(i, 0): float(rng.uniform(0.1, 0.3)) for i in range(1, 41)}
+        bayes = BayesianLinkEstimator(
+            max_attempts=31, prior_alpha=2.0, prior_beta=8.0
+        )
+        mle = PerLinkEstimator(max_attempts=31)
+        for link, loss in true_losses.items():
+            for _ in range(4):  # sparse!
+                a = 1
+                while rng.random() < loss and a < 31:
+                    a += 1
+                bayes.add_exact(link, a - 1)
+                mle.add_exact(link, a - 1, 0.0)
+        b_err = np.mean(
+            [abs(e.posterior_mean - true_losses[l]) for l, e in bayes.estimates().items()]
+        )
+        m_err = np.mean(
+            [abs(e.loss - true_losses[l]) for l, e in mle.estimates().items()]
+        )
+        assert b_err < m_err
+
+    def test_empirical_bayes_prior_fit(self):
+        rng = np.random.default_rng(7)
+        est = BayesianLinkEstimator(max_attempts=31)
+        # Many well-observed links around loss 0.4.
+        for i in range(1, 15):
+            link = (i, 0)
+            for _ in range(200):
+                a = 1
+                while rng.random() < 0.4 and a < 31:
+                    a += 1
+                est.add_exact(link, a - 1)
+        alpha, beta = est.fit_prior_empirical_bayes(min_samples=50)
+        assert abs(alpha / (alpha + beta) - 0.4) < 0.05
+        # New sparse link shrinks toward 0.4 rather than the old 0.2 prior.
+        est.add_exact((99, 0), 0)
+        sparse = est.estimate((99, 0))
+        assert sparse.posterior_mean > 0.25
+
+    def test_empirical_bayes_insufficient_links_keeps_prior(self):
+        est = BayesianLinkEstimator(max_attempts=31, prior_alpha=1.0, prior_beta=4.0)
+        est.add_exact(LINK, 1)
+        assert est.fit_prior_empirical_bayes() == (1.0, 4.0)

@@ -1,0 +1,98 @@
+"""Fuzz tests: corrupted annotations must never crash the sink.
+
+A real sink receives bit-flipped, truncated and garbage payloads
+(CRC-escaping corruption happens). The contract: :func:`decode_annotation`
+either raises :class:`AnnotationDecodeError` or returns a structurally
+valid :class:`DecodedAnnotation` — never an unhandled exception, never a
+hang, and never a decoded hop with an out-of-range count.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.annotation import AnnotationCodec
+from repro.core.config import DophyConfig
+from repro.core.decoder import AnnotationDecodeError, decode_annotation
+from repro.core.model import ModelManager
+from repro.core.path_codec import PathRankModel
+from repro.core.symbols import SymbolSet
+from repro.net.topology import grid_topology
+
+
+def make_codec(mode="explicit", num_nodes=16):
+    cfg = DophyConfig(path_encoding=mode)
+    ss = SymbolSet(cfg.max_count, cfg.aggregation_threshold)
+    mm = ModelManager(ss, num_nodes_for_dissemination=num_nodes)
+    topo = grid_topology(4, 4, diagonal=True)
+    path_model = PathRankModel(topo) if mode == "compressed" else None
+    return AnnotationCodec(cfg, mm, num_nodes, path_model), topo
+
+
+def checked_decode(codec, data, bits, origin=15, sink=0):
+    """Decode; assert the error/valid-result contract either way."""
+    try:
+        decoded = decode_annotation(data, bits, codec, origin=origin, sink=sink)
+    except AnnotationDecodeError:
+        return None
+    for hop in decoded.hops:
+        lo, hi = hop.retx_bounds
+        assert 0 <= lo <= hi <= codec.symbol_set.max_count
+        if hop.exact:
+            assert lo == hop.retx_count == hi
+    assert len(decoded.path) == len(decoded.hops) + 1
+    return decoded
+
+
+def flip_bit(data: bytes, index: int) -> bytes:
+    out = bytearray(data)
+    out[index // 8] ^= 1 << (7 - index % 8)
+    return bytes(out)
+
+
+class TestBitFlips:
+    @pytest.mark.parametrize("mode", ["explicit", "compressed"])
+    def test_every_single_bit_flip_is_handled(self, mode):
+        codec, topo = make_codec(mode)
+        ann = codec.new_annotation()
+        path = [15, 10, 5, 0]
+        for s, r, c in zip(path, path[1:], [0, 7, 2]):
+            codec.annotate_hop(ann, s, r, c)
+        data, bits = codec.serialize(ann)
+        for i in range(bits):
+            checked_decode(codec, flip_bit(data, i), bits)
+
+    def test_uncorrupted_still_decodes_exactly(self):
+        codec, _ = make_codec("explicit")
+        ann = codec.new_annotation()
+        for s, r, c in zip([15, 10, 5], [10, 5, 0], [1, 0, 4]):
+            codec.annotate_hop(ann, s, r, c)
+        data, bits = codec.serialize(ann)
+        decoded = checked_decode(codec, data, bits)
+        assert decoded is not None
+        assert [h.retx_count for h in decoded.hops] == [1, 0, 4]
+
+
+@settings(max_examples=200, deadline=None)
+@given(payload=st.binary(min_size=0, max_size=40), data=st.data())
+def test_property_random_garbage_never_crashes(payload, data):
+    codec, _ = make_codec(data.draw(st.sampled_from(["explicit", "compressed"])))
+    bits = data.draw(st.integers(min_value=0, max_value=8 * len(payload)))
+    checked_decode(codec, payload, bits)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_property_truncations_never_crash(data):
+    codec, _ = make_codec("explicit")
+    ann = codec.new_annotation()
+    hop_count = data.draw(st.integers(min_value=1, max_value=6))
+    prev = 15
+    for _ in range(hop_count - 1):
+        nxt = data.draw(st.integers(min_value=1, max_value=14))
+        codec.annotate_hop(ann, prev, nxt, data.draw(st.integers(0, 30)))
+        prev = nxt
+    codec.annotate_hop(ann, prev, 0, data.draw(st.integers(0, 30)))
+    payload, bits = codec.serialize(ann)
+    keep = data.draw(st.integers(min_value=0, max_value=bits))
+    checked_decode(codec, payload, keep)

@@ -1,0 +1,100 @@
+"""Tests for model-dissemination latency (epoch activation delay)."""
+
+import pytest
+
+from repro.core.config import DophyConfig
+from repro.core.dophy import DophySystem
+from repro.core.model import ModelManager
+from repro.core.symbols import SymbolSet
+from repro.net.link import uniform_loss_assigner
+from repro.net.routing import RoutingConfig
+from repro.net.simulation import CollectionSimulation, SimulationConfig
+from repro.net.topology import line_topology
+
+
+def make_manager(delay):
+    ss = SymbolSet(max_count=30, aggregation_threshold=3)
+    return ModelManager(
+        ss, update_period=10.0, activation_delay=delay,
+        num_nodes_for_dissemination=10,
+    )
+
+
+class TestActivationDelay:
+    def test_epoch_activates_after_delay(self):
+        mm = make_manager(delay=5.0)
+        mm.observe_symbols([0] * 50, time=8.0)
+        assert mm.maybe_update(10.0)
+        assert mm.current_epoch == 1  # sink view: newest
+        assert mm.current_epoch_for(10.0) == 0  # encoders: still propagating
+        assert mm.current_epoch_for(14.9) == 0
+        assert mm.current_epoch_for(15.0) == 1
+
+    def test_zero_delay_immediate(self):
+        mm = make_manager(delay=0.0)
+        mm.observe_symbols([0] * 50, time=8.0)
+        mm.maybe_update(10.0)
+        assert mm.current_epoch_for(10.0) == 1
+
+    def test_stacked_updates_activate_in_order(self):
+        mm = make_manager(delay=3.0)
+        for i in range(3):
+            mm.observe_symbols([0] * 50, time=10.0 * i + 5.0)
+            mm.maybe_update(10.0 * (i + 1))
+        # Updates at t=10/20/30 with delay 3 activate at t=13/23/33.
+        assert mm.current_epoch == 3
+        assert mm.current_epoch_for(12.0) == 0
+        assert mm.current_epoch_for(14.0) == 1
+        assert mm.current_epoch_for(24.0) == 2
+        assert mm.current_epoch_for(100.0) == 3
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            make_manager(delay=-1.0)
+
+    def test_evicted_epoch_falls_back_to_oldest_retained(self):
+        ss = SymbolSet(max_count=30, aggregation_threshold=3)
+        mm = ModelManager(
+            ss, update_period=10.0, activation_delay=1e9, epoch_history=2,
+        )
+        for i in range(4):
+            mm.observe_symbols([0] * 20, time=10.0 * i + 5.0)
+            mm.maybe_update(10.0 * (i + 1))
+        # Nothing has activated (huge delay) and epoch 0 was evicted:
+        # encoders fall back to the oldest epoch the sink still retains.
+        epoch = mm.current_epoch_for(50.0)
+        assert epoch in mm._tables
+
+
+class TestSystemWithDelay:
+    def run(self, delay):
+        dophy = DophySystem(
+            DophyConfig(model_update_period=40.0, dissemination_delay=delay)
+        )
+        sim = CollectionSimulation(
+            line_topology(4),
+            seed=81,
+            config=SimulationConfig(
+                duration=300.0, traffic_period=2.0,
+                routing=RoutingConfig(etx_noise_std=0.0),
+            ),
+            link_assigner=uniform_loss_assigner(0.1, 0.3),
+            observers=[dophy],
+        )
+        result = sim.run()
+        return dophy.report(), result
+
+    def test_decoding_unaffected_by_delay(self):
+        report, result = self.run(delay=15.0)
+        assert report.decode_failures == 0
+        assert report.packets_decoded == result.ground_truth.packets_delivered
+        assert report.model_updates >= 5
+
+    def test_same_estimates_with_and_without_delay(self):
+        with_delay, _ = self.run(delay=15.0)
+        without, _ = self.run(delay=0.0)
+        assert set(with_delay.estimates) == set(without.estimates)
+        for link in with_delay.estimates:
+            assert with_delay.estimates[link].loss == pytest.approx(
+                without.estimates[link].loss, abs=1e-12
+            )

@@ -1,0 +1,169 @@
+"""End-to-end tests: Dophy running inside the network simulator."""
+
+import pytest
+
+from repro.core.config import DophyConfig
+from repro.core.dophy import DophySystem
+from repro.net.link import uniform_loss_assigner
+from repro.net.mac import MacConfig
+from repro.net.routing import RoutingConfig
+from repro.net.simulation import CollectionSimulation, SimulationConfig
+from repro.net.topology import grid_topology, line_topology, random_geometric_topology
+
+
+def run_dophy(topo, seed, *, dophy_config=None, sim_config=None, assigner=None):
+    dophy = DophySystem(dophy_config or DophyConfig())
+    sim = CollectionSimulation(
+        topo,
+        seed=seed,
+        config=sim_config
+        or SimulationConfig(
+            duration=200.0,
+            traffic_period=4.0,
+            routing=RoutingConfig(etx_noise_std=0.0),
+        ),
+        link_assigner=assigner or uniform_loss_assigner(0.05, 0.35),
+        observers=[dophy],
+    )
+    result = sim.run()
+    return dophy, result
+
+
+class TestEndToEnd:
+    def test_no_decode_failures(self):
+        dophy, result = run_dophy(line_topology(5), seed=1)
+        report = dophy.report()
+        assert report.decode_failures == 0
+        assert report.packets_decoded == result.ground_truth.packets_delivered
+        assert report.packets_decoded > 50
+
+    def test_estimates_close_to_empirical_truth(self):
+        dophy, result = run_dophy(line_topology(5), seed=2)
+        report = dophy.report()
+        truth = result.ground_truth.true_loss_map(kind="empirical")
+        checked = 0
+        for link, est in report.estimates.items():
+            if est.n_samples < 100:
+                continue
+            assert link in truth
+            assert abs(est.loss - truth[link]) < 0.08, (link, est.loss, truth[link])
+            checked += 1
+        assert checked >= 3  # all forwarding links of the line
+
+    def test_covers_used_links_in_dynamic_grid(self):
+        topo = grid_topology(4, 4, diagonal=True)
+        dophy, result = run_dophy(
+            topo,
+            seed=3,
+            sim_config=SimulationConfig(
+                duration=300.0,
+                traffic_period=3.0,
+                routing=RoutingConfig(etx_noise_std=0.6, parent_switch_threshold=0.2),
+            ),
+        )
+        report = dophy.report()
+        assert result.routing.total_parent_changes > 0  # dynamics happened
+        estimated = set(report.estimates)
+        # Every link that carried >= 30 successful hops must be estimated.
+        for link, usage in result.ground_truth.link_usage.items():
+            if usage.received >= 30:
+                assert link in estimated
+
+    def test_annotation_overhead_small(self):
+        """Mean annotation size stays within a couple of bytes on a line."""
+        dophy, _ = run_dophy(
+            line_topology(5),
+            seed=4,
+            assigner=uniform_loss_assigner(0.02, 0.1),
+        )
+        report = dophy.report()
+        assert 0 < report.mean_annotation_bits < 64  # < 8 bytes incl. header
+
+    def test_model_updates_happen_and_cost_bits(self):
+        cfg = DophyConfig(model_update_period=30.0)
+        dophy, result = run_dophy(line_topology(4), seed=5, dophy_config=cfg)
+        report = dophy.report()
+        assert report.model_updates >= 4
+        assert report.dissemination_bits > 0
+        assert dophy.control_overhead_bits() == report.dissemination_bits
+
+    def test_static_model_mode(self):
+        cfg = DophyConfig(model_update_period=None)
+        dophy, _ = run_dophy(line_topology(4), seed=6, dophy_config=cfg)
+        report = dophy.report()
+        assert report.model_updates == 0
+        assert report.dissemination_bits == 0
+        assert report.decode_failures == 0
+
+    def test_censored_mode_estimates(self):
+        cfg = DophyConfig(aggregation_threshold=2, escape_mode="censored")
+        dophy, result = run_dophy(
+            line_topology(4),
+            seed=7,
+            assigner=uniform_loss_assigner(0.3, 0.5),
+        )
+        # run again explicitly with censored config
+        dophy, result = run_dophy(
+            line_topology(4),
+            seed=7,
+            dophy_config=cfg,
+            assigner=uniform_loss_assigner(0.3, 0.5),
+        )
+        report = dophy.report()
+        truth = result.ground_truth.true_loss_map(kind="empirical")
+        assert report.decode_failures == 0
+        for link, est in report.estimates.items():
+            if est.n_samples >= 150:
+                assert abs(est.loss - truth[link]) < 0.1
+
+    def test_max_count_follows_mac(self):
+        """The symbol alphabet adapts to the MAC's retry cap on attach."""
+        cfg = DophyConfig(max_count=30, aggregation_threshold=3)
+        dophy = DophySystem(cfg)
+        sim = CollectionSimulation(
+            line_topology(3),
+            seed=8,
+            config=SimulationConfig(
+                duration=20.0, mac=MacConfig(max_retries=5)
+            ),
+            observers=[dophy],
+        )
+        sim.run()
+        assert dophy.config.max_count == 5
+        assert dophy.estimator.max_attempts == 6
+
+    def test_report_before_attach_raises(self):
+        with pytest.raises(RuntimeError):
+            DophySystem().report()
+
+    def test_bits_per_hop_accounting(self):
+        dophy, _ = run_dophy(line_topology(6), seed=9)
+        report = dophy.report()
+        assert report.mean_bits_per_hop > 0
+        assert report.total_overhead_bits >= report.total_annotation_bits
+
+
+class TestDynamicsRobustness:
+    def test_accuracy_survives_churn(self):
+        """Dophy's per-packet evidence is unaffected by parent churn."""
+        topo = random_geometric_topology(30, seed=21)
+        dophy, result = run_dophy(
+            topo,
+            seed=21,
+            sim_config=SimulationConfig(
+                duration=400.0,
+                traffic_period=4.0,
+                routing=RoutingConfig(
+                    etx_noise_std=0.8, parent_switch_threshold=0.1, beacon_period=2.0
+                ),
+            ),
+        )
+        report = dophy.report()
+        truth = result.ground_truth.true_loss_map(kind="empirical")
+        errors = [
+            abs(est.loss - truth[link])
+            for link, est in report.estimates.items()
+            if est.n_samples >= 100 and link in truth
+        ]
+        assert errors, "expected several well-sampled links"
+        assert sum(errors) / len(errors) < 0.05

@@ -1,0 +1,221 @@
+"""Statistical tests for the per-link loss MLE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimator import PerLinkEstimator
+
+LINK = (3, 1)
+
+
+def geometric_attempts(rng, loss, n, max_attempts):
+    """Draw first-success attempts conditioned on success within the cap."""
+    out = []
+    while len(out) < n:
+        a = 1
+        while rng.random() < loss:
+            a += 1
+            if a > max_attempts:
+                break
+        if a <= max_attempts:
+            out.append(a)
+    return out
+
+
+class TestExactSamples:
+    @pytest.mark.parametrize("loss", [0.05, 0.2, 0.5, 0.8])
+    def test_mle_recovers_loss(self, loss):
+        rng = np.random.default_rng(int(loss * 100))
+        A = 31
+        est = PerLinkEstimator(max_attempts=A)
+        for a in geometric_attempts(rng, loss, 3000, A):
+            est.add_exact(LINK, a - 1)
+        result = est.estimate(LINK)
+        assert result is not None
+        assert abs(result.loss - loss) < 0.03
+
+    def test_all_zero_counts_gives_small_loss(self):
+        est = PerLinkEstimator(max_attempts=31)
+        for _ in range(200):
+            est.add_exact(LINK, 0)
+        result = est.estimate(LINK)
+        assert 0.0 < result.loss < 0.01
+        lo, hi = result.confidence_interval()
+        assert lo == 0.0 and hi < 0.1
+
+    def test_no_evidence_returns_none(self):
+        est = PerLinkEstimator(max_attempts=31)
+        assert est.estimate(LINK) is None
+        assert est.estimates() == {}
+
+    def test_stderr_shrinks_with_samples(self):
+        rng = np.random.default_rng(5)
+        def stderr(n):
+            est = PerLinkEstimator(max_attempts=31)
+            for a in geometric_attempts(rng, 0.3, n, 31):
+                est.add_exact(LINK, a - 1)
+            return est.estimate(LINK).stderr
+
+        assert stderr(2000) < stderr(50)
+
+    def test_confidence_interval_covers_truth_mostly(self):
+        rng = np.random.default_rng(11)
+        covered = 0
+        runs = 60
+        for _ in range(runs):
+            est = PerLinkEstimator(max_attempts=31)
+            for a in geometric_attempts(rng, 0.3, 150, 31):
+                est.add_exact(LINK, a - 1)
+            lo, hi = est.estimate(LINK).confidence_interval()
+            if lo <= 0.3 <= hi:
+                covered += 1
+        assert covered / runs > 0.85
+
+    def test_out_of_range_rejected(self):
+        est = PerLinkEstimator(max_attempts=5)
+        with pytest.raises(ValueError):
+            est.add_exact(LINK, 5)  # attempt 6 > cap
+        with pytest.raises(ValueError):
+            est.add_exact(LINK, -1)
+
+
+class TestTruncationCorrection:
+    def test_correction_removes_bias_on_bad_link(self):
+        """With a tight retry cap, uncorrected MLE underestimates loss."""
+        rng = np.random.default_rng(7)
+        loss = 0.7
+        A = 5
+        attempts = geometric_attempts(rng, loss, 4000, A)
+        corrected = PerLinkEstimator(max_attempts=A, truncation_correction=True)
+        uncorrected = PerLinkEstimator(max_attempts=A, truncation_correction=False)
+        for a in attempts:
+            corrected.add_exact(LINK, a - 1)
+            uncorrected.add_exact(LINK, a - 1)
+        err_corrected = abs(corrected.estimate(LINK).loss - loss)
+        err_uncorrected = abs(uncorrected.estimate(LINK).loss - loss)
+        assert err_corrected < err_uncorrected
+        assert err_corrected < 0.05
+        assert uncorrected.estimate(LINK).loss < loss  # biased downward
+
+    def test_correction_negligible_on_good_link(self):
+        rng = np.random.default_rng(8)
+        attempts = geometric_attempts(rng, 0.1, 2000, 31)
+        a_est = PerLinkEstimator(max_attempts=31, truncation_correction=True)
+        b_est = PerLinkEstimator(max_attempts=31, truncation_correction=False)
+        for a in attempts:
+            a_est.add_exact(LINK, a - 1)
+            b_est.add_exact(LINK, a - 1)
+        assert abs(a_est.estimate(LINK).loss - b_est.estimate(LINK).loss) < 0.005
+
+
+class TestCensoredSamples:
+    def test_censored_only_still_estimates(self):
+        """'count >= K' observations alone pin down the loss reasonably."""
+        rng = np.random.default_rng(9)
+        loss, A, K = 0.5, 31, 2
+        est = PerLinkEstimator(max_attempts=A)
+        for a in geometric_attempts(rng, loss, 4000, A):
+            c = a - 1
+            if c >= K:
+                est.add_censored(LINK, K, A - 1)
+            else:
+                est.add_exact(LINK, c)
+        result = est.estimate(LINK)
+        assert abs(result.loss - loss) < 0.04
+        assert result.n_censored > 0
+
+    def test_censoring_increases_uncertainty(self):
+        rng = np.random.default_rng(10)
+        loss, A, K = 0.4, 31, 1
+        exact = PerLinkEstimator(max_attempts=A)
+        censored = PerLinkEstimator(max_attempts=A)
+        for a in geometric_attempts(rng, loss, 1500, A):
+            c = a - 1
+            exact.add_exact(LINK, c)
+            if c >= K:
+                censored.add_censored(LINK, K, A - 1)
+            else:
+                censored.add_exact(LINK, c)
+        assert censored.estimate(LINK).stderr >= exact.estimate(LINK).stderr
+
+    def test_invalid_censored_bounds(self):
+        est = PerLinkEstimator(max_attempts=10)
+        with pytest.raises(ValueError):
+            est.add_censored(LINK, 5, 3)
+        with pytest.raises(ValueError):
+            est.add_censored(LINK, 0, 99)
+
+
+class TestNaiveEstimator:
+    def test_naive_matches_mle_without_truncation_pressure(self):
+        rng = np.random.default_rng(12)
+        est = PerLinkEstimator(max_attempts=101)
+        for a in geometric_attempts(rng, 0.3, 3000, 101):
+            est.add_exact(LINK, a - 1)
+        assert abs(est.naive_estimate(LINK) - est.estimate(LINK).loss) < 0.01
+
+    def test_naive_biased_under_truncation(self):
+        rng = np.random.default_rng(13)
+        loss, A = 0.7, 4
+        est = PerLinkEstimator(max_attempts=A)
+        for a in geometric_attempts(rng, loss, 4000, A):
+            est.add_exact(LINK, a - 1)
+        assert est.naive_estimate(LINK) < loss - 0.1
+        assert abs(est.estimate(LINK).loss - loss) < 0.05
+
+    def test_naive_none_without_data(self):
+        est = PerLinkEstimator(max_attempts=10)
+        assert est.naive_estimate(LINK) is None
+
+
+class TestMultiLink:
+    def test_links_independent(self):
+        rng = np.random.default_rng(14)
+        est = PerLinkEstimator(max_attempts=31)
+        losses = {(1, 0): 0.1, (2, 1): 0.4, (3, 2): 0.7}
+        for link, loss in losses.items():
+            for a in geometric_attempts(rng, loss, 2000, 31):
+                est.add_exact(link, a - 1)
+        results = est.estimates()
+        assert set(results) == set(losses)
+        for link, loss in losses.items():
+            assert abs(results[link].loss - loss) < 0.04
+
+    def test_merge(self):
+        rng = np.random.default_rng(15)
+        a = PerLinkEstimator(max_attempts=31)
+        b = PerLinkEstimator(max_attempts=31)
+        for x in geometric_attempts(rng, 0.3, 500, 31):
+            a.add_exact(LINK, x - 1)
+        for x in geometric_attempts(rng, 0.3, 500, 31):
+            b.add_exact(LINK, x - 1)
+        a.merge(b)
+        assert a.n_samples(LINK) == 1000
+        assert abs(a.estimate(LINK).loss - 0.3) < 0.05
+
+    def test_merge_incompatible(self):
+        with pytest.raises(ValueError):
+            PerLinkEstimator(max_attempts=5).merge(PerLinkEstimator(max_attempts=6))
+
+
+class TestValidation:
+    def test_max_attempts_positive(self):
+        with pytest.raises(ValueError):
+            PerLinkEstimator(max_attempts=0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    loss=st.floats(min_value=0.02, max_value=0.85),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_mle_consistent(loss, seed):
+    """For any loss ratio, the MLE lands near the truth with enough samples."""
+    rng = np.random.default_rng(seed)
+    A = 31
+    est = PerLinkEstimator(max_attempts=A)
+    for a in geometric_attempts(rng, loss, 1200, A):
+        est.add_exact(LINK, a - 1)
+    assert abs(est.estimate(LINK).loss - loss) < 0.08

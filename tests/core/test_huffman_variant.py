@@ -1,0 +1,73 @@
+"""Tests for the Dophy-with-Huffman ablation variant."""
+
+import pytest
+
+from repro.core.config import DophyConfig
+from repro.core.dophy import DophySystem
+from repro.core.huffman_variant import HuffmanDophyVariant
+from repro.net.link import uniform_loss_assigner
+from repro.net.routing import RoutingConfig
+from repro.net.simulation import CollectionSimulation, SimulationConfig
+from repro.net.topology import line_topology
+
+
+def run_both(seed=21, loss_lo=0.02, loss_hi=0.1, duration=250.0, **config_kw):
+    config_kw.setdefault("path_encoding", "assumed")
+    dophy = DophySystem(DophyConfig(**config_kw))
+    huff = HuffmanDophyVariant(DophyConfig(**config_kw))
+    sim = CollectionSimulation(
+        line_topology(9),
+        seed=seed,
+        config=SimulationConfig(
+            duration=duration, traffic_period=2.0,
+            routing=RoutingConfig(etx_noise_std=0.0),
+        ),
+        link_assigner=uniform_loss_assigner(loss_lo, loss_hi),
+        observers=[dophy, huff],
+    )
+    result = sim.run()
+    return dophy.report(), huff.report(), result
+
+
+class TestHuffmanVariant:
+    def test_same_estimates_as_dophy(self):
+        d, h, _ = run_both()
+        assert set(d.estimates) == set(h.estimates)
+        for link in d.estimates:
+            assert d.estimates[link].loss == pytest.approx(
+                h.estimates[link].loss, abs=1e-12
+            )
+
+    def test_arithmetic_beats_huffman_on_good_links(self):
+        """Sub-1-bit symbols: the structural gap the T1 bench quantifies."""
+        d, h, _ = run_both(loss_lo=0.01, loss_hi=0.06)
+        assert d.mean_bits_per_hop < h.mean_bits_per_hop
+
+    def test_huffman_close_on_lossier_links(self):
+        """At higher entropy, the prefix-code floor stops binding."""
+        d, h, _ = run_both(loss_lo=0.3, loss_hi=0.5)
+        assert h.mean_bits_per_hop < d.mean_bits_per_hop * 1.25
+
+    def test_model_updates_refresh_codebook(self):
+        _, h, _ = run_both(model_update_period=50.0)
+        assert h.model_updates >= 3
+        assert h.dissemination_bits > 0
+
+    def test_compressed_paths_rejected(self):
+        with pytest.raises(ValueError):
+            HuffmanDophyVariant(DophyConfig(path_encoding="compressed"))
+
+    def test_censored_mode_feeds_estimator(self):
+        d, h, _ = run_both(
+            aggregation_threshold=1, escape_mode="censored",
+            loss_lo=0.3, loss_hi=0.5,
+        )
+        # Same censoring on both sides -> same estimates.
+        for link in d.estimates:
+            assert d.estimates[link].loss == pytest.approx(
+                h.estimates[link].loss, abs=1e-12
+            )
+
+    def test_report_before_attach(self):
+        with pytest.raises(RuntimeError):
+            HuffmanDophyVariant().report()

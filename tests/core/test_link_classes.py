@@ -1,0 +1,128 @@
+"""Tests for the link-class context-model extension."""
+
+import pytest
+
+from repro.core.config import DophyConfig
+from repro.core.dophy import DophySystem
+from repro.core.model import ModelManager
+from repro.core.symbols import SymbolSet
+from repro.net.link import BernoulliLink, Channel
+from repro.net.routing import RoutingConfig
+from repro.net.simulation import CollectionSimulation, SimulationConfig
+from repro.net.topology import line_topology
+from repro.utils.rng import RngRegistry
+
+
+def make_manager(num_classes=2, **kw):
+    ss = SymbolSet(max_count=30, aggregation_threshold=3)
+    defaults = dict(update_period=10.0, num_nodes_for_dissemination=20)
+    defaults.update(kw)
+    return ModelManager(ss, num_classes=num_classes, **defaults)
+
+
+class TestMultiClassModelManager:
+    def test_initial_epoch_single_behaviour(self):
+        mm = make_manager(num_classes=3)
+        # Epoch 0: every class identical, every link class 0.
+        assert mm.class_of(0, (5, 2)) == 0
+        assert mm.table(0, 0) == mm.table(0, 2)
+        assert mm.table_for_link(0, (5, 2)) == mm.table(0)
+
+    def test_classification_separates_good_and_bad_links(self):
+        mm = make_manager(num_classes=2)
+        good, bad = (1, 0), (3, 2)
+        mm.observe_hops([(good, 0)] * 300 + [(good, 1)] * 10, time=5.0)
+        mm.observe_hops([(bad, 3)] * 200 + [(bad, 2)] * 100, time=5.0)
+        assert mm.maybe_update(10.0)
+        assert mm.class_of(1, good) != mm.class_of(1, bad)
+        good_table = mm.table_for_link(1, good)
+        bad_table = mm.table_for_link(1, bad)
+        # Good class: mass on symbol 0; bad class: mass on 2/3.
+        assert good_table.probability(0) > 0.9
+        assert bad_table.probability(0) < 0.1
+        assert bad_table.probability(3) > 0.5
+
+    def test_single_class_ignores_links(self):
+        mm = make_manager(num_classes=1)
+        mm.observe_hops([((1, 0), 0)] * 50 + [((2, 1), 3)] * 50, time=1.0)
+        assert mm.maybe_update(10.0)
+        assert mm.table_for_link(1, (1, 0)) == mm.table_for_link(1, (2, 1))
+
+    def test_unknown_links_fall_back_to_class_zero(self):
+        mm = make_manager(num_classes=2)
+        mm.observe_hops([((1, 0), 0)] * 50 + [((2, 1), 3)] * 50, time=1.0)
+        mm.maybe_update(10.0)
+        assert mm.class_of(1, (9, 9)) == 0
+
+    def test_multi_class_dissemination_costs_more(self):
+        single = make_manager(num_classes=1)
+        multi = make_manager(num_classes=4)
+        for mm in (single, multi):
+            mm.observe_hops(
+                [((i, 0), i % 4) for i in range(1, 9) for _ in range(40)], time=1.0
+            )
+            mm.maybe_update(10.0)
+        assert multi.total_dissemination_bits > 2 * single.total_dissemination_bits
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_manager(num_classes=0)
+        mm = make_manager(num_classes=2)
+        with pytest.raises(ValueError):
+            mm.table(0, class_id=5)
+
+    def test_class_id_bits(self):
+        assert make_manager(num_classes=2).class_id_bits == 1
+        assert make_manager(num_classes=4).class_id_bits == 2
+        assert make_manager(num_classes=5).class_id_bits == 3
+
+
+class TestEndToEndWithClasses:
+    def run_dophy(self, link_classes):
+        # Extreme heterogeneity: near-perfect links next to terrible ones.
+        topo = line_topology(5)
+        models = {}
+        for u, v in topo.undirected_edges():
+            loss = 0.02 if u % 2 == 0 else 0.5
+            models[(u, v)] = BernoulliLink(loss)
+            models[(v, u)] = BernoulliLink(loss)
+        channel = Channel(topo, models, RngRegistry(7))
+        dophy = DophySystem(
+            DophyConfig(
+                link_classes=link_classes,
+                model_update_period=30.0,
+                path_encoding="assumed",
+            )
+        )
+        sim = CollectionSimulation(
+            topo,
+            seed=7,
+            config=SimulationConfig(
+                duration=400.0, traffic_period=1.5,
+                routing=RoutingConfig(etx_noise_std=0.0),
+            ),
+            channel=channel,
+            observers=[dophy],
+        )
+        result = sim.run()
+        return dophy.report(), result
+
+    def test_roundtrip_with_classes(self):
+        report, result = self.run_dophy(link_classes=3)
+        assert report.decode_failures == 0
+        assert report.packets_decoded == result.ground_truth.packets_delivered
+
+    def test_same_estimates_regardless_of_classes(self):
+        rep1, _ = self.run_dophy(link_classes=1)
+        rep3, _ = self.run_dophy(link_classes=3)
+        for link in rep1.estimates:
+            assert rep1.estimates[link].loss == pytest.approx(
+                rep3.estimates[link].loss, abs=1e-12
+            )
+
+    def test_classes_shrink_annotations_on_heterogeneous_links(self):
+        rep1, _ = self.run_dophy(link_classes=1)
+        rep3, _ = self.run_dophy(link_classes=3)
+        assert rep3.mean_annotation_bits < rep1.mean_annotation_bits
+        # But dissemination costs more.
+        assert rep3.dissemination_bits > rep1.dissemination_bits

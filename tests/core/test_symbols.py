@@ -1,0 +1,108 @@
+"""Tests for the aggregated retransmission-count symbol set."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.symbols import SymbolSet
+
+
+class TestUnaggregated:
+    def test_alphabet_spans_counts(self):
+        ss = SymbolSet(max_count=5)
+        assert ss.num_symbols == 6
+        assert not ss.aggregated
+        assert ss.escape_symbol is None
+
+    def test_identity_mapping(self):
+        ss = SymbolSet(max_count=10)
+        for c in range(11):
+            enc = ss.to_symbol(c)
+            assert enc.symbol == c and enc.escape_extra is None
+            assert ss.from_symbol(enc.symbol) == c
+
+    def test_out_of_range_count(self):
+        ss = SymbolSet(max_count=3)
+        with pytest.raises(ValueError):
+            ss.to_symbol(4)
+        with pytest.raises(ValueError):
+            ss.to_symbol(-1)
+
+
+class TestAggregated:
+    def test_alphabet_size(self):
+        ss = SymbolSet(max_count=30, aggregation_threshold=3)
+        assert ss.num_symbols == 4  # 0,1,2 exact + escape
+        assert ss.escape_symbol == 3
+        assert ss.is_escape(3) and not ss.is_escape(2)
+
+    def test_small_counts_exact(self):
+        ss = SymbolSet(max_count=30, aggregation_threshold=3)
+        for c in range(3):
+            enc = ss.to_symbol(c)
+            assert enc.symbol == c and enc.escape_extra is None
+
+    def test_large_counts_escape(self):
+        ss = SymbolSet(max_count=30, aggregation_threshold=3)
+        enc = ss.to_symbol(7)
+        assert enc.symbol == 3 and enc.escape_extra == 4
+        assert ss.from_symbol(3, 4) == 7
+
+    def test_escape_boundary(self):
+        ss = SymbolSet(max_count=10, aggregation_threshold=4)
+        enc = ss.to_symbol(4)
+        assert enc.symbol == 4 and enc.escape_extra == 0
+
+    def test_from_symbol_requires_extra_for_escape(self):
+        ss = SymbolSet(max_count=10, aggregation_threshold=2)
+        with pytest.raises(ValueError):
+            ss.from_symbol(2)
+
+    def test_from_symbol_rejects_extra_on_exact(self):
+        ss = SymbolSet(max_count=10, aggregation_threshold=2)
+        with pytest.raises(ValueError):
+            ss.from_symbol(1, 3)
+
+    def test_from_symbol_rejects_extra_beyond_max(self):
+        ss = SymbolSet(max_count=5, aggregation_threshold=3)
+        with pytest.raises(ValueError):
+            ss.from_symbol(3, 10)
+
+    def test_counts_range(self):
+        ss = SymbolSet(max_count=9, aggregation_threshold=3)
+        assert ss.symbol_counts_range(1) == (1, 1)
+        assert ss.symbol_counts_range(3) == (3, 9)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SymbolSet(max_count=5, aggregation_threshold=0)
+        with pytest.raises(ValueError):
+            SymbolSet(max_count=5, aggregation_threshold=6)
+
+    def test_threshold_equal_max_count(self):
+        ss = SymbolSet(max_count=5, aggregation_threshold=5)
+        enc = ss.to_symbol(5)
+        assert enc.symbol == 5 and enc.escape_extra == 0
+
+    def test_equality(self):
+        assert SymbolSet(10, 3) == SymbolSet(10, 3)
+        assert SymbolSet(10, 3) != SymbolSet(10, 4)
+        assert SymbolSet(10) != SymbolSet(11)
+
+
+@given(
+    max_count=st.integers(min_value=1, max_value=60),
+    data=st.data(),
+)
+def test_property_roundtrip(max_count, data):
+    """to_symbol/from_symbol invert for every count and any threshold."""
+    threshold = data.draw(
+        st.one_of(st.none(), st.integers(min_value=1, max_value=max_count))
+    )
+    ss = SymbolSet(max_count, threshold)
+    count = data.draw(st.integers(min_value=0, max_value=max_count))
+    enc = ss.to_symbol(count)
+    assert 0 <= enc.symbol < ss.num_symbols
+    assert ss.from_symbol(enc.symbol, enc.escape_extra) == count
+    lo, hi = ss.symbol_counts_range(enc.symbol)
+    assert lo <= count <= hi

@@ -1,0 +1,160 @@
+"""Tests for the spatially-correlated interference model."""
+
+import numpy as np
+import pytest
+
+from repro.net.interference import (
+    Interferer,
+    InterfererField,
+    interference_assigner,
+)
+from repro.net.link import Channel
+from repro.net.simulation import CollectionSimulation, SimulationConfig
+from repro.net.routing import RoutingConfig
+from repro.net.topology import grid_topology, line_topology, random_geometric_topology
+from repro.utils.rng import RngRegistry, derive_rng
+
+
+def make_interferer(mean_on=10.0, mean_off=30.0, start_on=False, seed=1, **kw):
+    defaults = dict(position=(0.5, 0.5), radius=0.3, loss_penalty=0.4)
+    defaults.update(kw)
+    return Interferer(
+        rng=derive_rng(seed, "i"), mean_on=mean_on, mean_off=mean_off,
+        start_on=start_on, **defaults,
+    )
+
+
+class TestInterferer:
+    def test_on_off_cycles(self):
+        i = make_interferer(mean_on=5.0, mean_off=5.0)
+        states = [i.is_on(t) for t in np.linspace(0, 500, 2000)]
+        on_fraction = sum(states) / len(states)
+        assert 0.3 < on_fraction < 0.7  # roughly half with equal means
+
+    def test_duty_cycle_tracks_means(self):
+        i = make_interferer(mean_on=5.0, mean_off=45.0, seed=3)
+        states = [i.is_on(t) for t in np.linspace(0, 2000, 8000)]
+        assert sum(states) / len(states) < 0.25
+
+    def test_monotone_time_queries(self):
+        i = make_interferer()
+        a = i.is_on(10.0)
+        b = i.is_on(10.0)
+        assert a == b  # repeated queries at the same time agree
+
+    def test_affects_radius(self):
+        i = make_interferer(position=(0.0, 0.0), radius=0.5)
+        assert i.affects((0.3, 0.3))
+        assert not i.affects((0.5, 0.5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_interferer(radius=0.0)
+        with pytest.raises(ValueError):
+            make_interferer(loss_penalty=1.5)
+        with pytest.raises(ValueError):
+            make_interferer(mean_on=0.0)
+
+
+class TestInterfererField:
+    def test_random_field_reproducible(self):
+        topo = random_geometric_topology(20, seed=4)
+        a = InterfererField.random(topo, seed=9, num_interferers=4)
+        b = InterfererField.random(topo, seed=9, num_interferers=4)
+        assert [i.position for i in a.interferers] == [i.position for i in b.interferers]
+
+    def test_penalty_sums_active_nearby(self):
+        field = InterfererField(
+            [
+                make_interferer(position=(0.0, 0.0), radius=1.0,
+                                loss_penalty=0.2, start_on=True,
+                                mean_on=1e9, mean_off=1.0),
+                make_interferer(position=(0.1, 0.0), radius=1.0,
+                                loss_penalty=0.3, start_on=True,
+                                mean_on=1e9, mean_off=1.0, seed=2),
+                make_interferer(position=(5.0, 5.0), radius=0.1,
+                                loss_penalty=0.9, start_on=True,
+                                mean_on=1e9, mean_off=1.0, seed=3),
+            ]
+        )
+        assert field.penalty_at((0.0, 0.0), 0.0) == pytest.approx(0.5)
+        assert field.active_count(0.0) == 3
+
+    def test_negative_count_rejected(self):
+        topo = random_geometric_topology(10, seed=1)
+        with pytest.raises(ValueError):
+            InterfererField.random(topo, seed=1, num_interferers=-1)
+
+
+class TestInterferedLinks:
+    def test_loss_rises_when_interferer_on(self):
+        topo = grid_topology(3, 3)
+        # One always-on interferer covering the whole grid.
+        field = InterfererField(
+            [make_interferer(position=(1.0, 1.0), radius=5.0,
+                             loss_penalty=0.4, start_on=True,
+                             mean_on=1e9, mean_off=1.0)]
+        )
+        channel = Channel.build(
+            topo,
+            interference_assigner(topo, field, base_low=0.05, base_high=0.05),
+            RngRegistry(5),
+        )
+        assert channel.true_loss(1, 0, 0.0) == pytest.approx(0.45)
+
+    def test_spatial_correlation(self):
+        """Links near the interferer degrade together; far links don't."""
+        topo = grid_topology(2, 8, spacing=1.0)  # long strip
+        field = InterfererField(
+            [make_interferer(position=(0.0, 0.0), radius=1.5,
+                             loss_penalty=0.5, start_on=True,
+                             mean_on=1e9, mean_off=1.0)]
+        )
+        channel = Channel.build(
+            topo, interference_assigner(topo, field, base_low=0.05, base_high=0.05),
+            RngRegistry(6),
+        )
+        near = channel.true_loss(8, 0, 0.0)   # nodes at x=0 (ids 0 and 8)
+        far = channel.true_loss(15, 7, 0.0)   # nodes at x=7
+        assert near > 0.5 and far < 0.1
+
+    def test_requires_positions(self):
+        import networkx as nx
+
+        from repro.net.topology import Topology
+
+        topo = Topology(nx.path_graph(3), sink=0, positions=None)
+        field = InterfererField([])
+        with pytest.raises(ValueError):
+            interference_assigner(topo, field)
+
+    def test_full_simulation_with_interference(self):
+        from repro.core.dophy import DophySystem
+
+        topo = random_geometric_topology(25, seed=7)
+        field = InterfererField.random(
+            topo, seed=7, num_interferers=3, mean_on=15.0, mean_off=40.0
+        )
+        dophy = DophySystem()
+        sim = CollectionSimulation(
+            topo,
+            seed=7,
+            config=SimulationConfig(
+                duration=200.0, traffic_period=3.0,
+                routing=RoutingConfig(etx_noise_std=0.2),
+            ),
+            link_assigner=interference_assigner(topo, field),
+            observers=[dophy],
+        )
+        result = sim.run()
+        assert result.delivery_ratio > 0.7
+        report = dophy.report()
+        assert report.decode_failures == 0
+        # Estimates track the *realized* loss even with interference bursts.
+        truth = result.ground_truth.true_loss_map(kind="empirical")
+        errs = [
+            abs(est.loss - truth[link])
+            for link, est in report.estimates.items()
+            if est.n_samples >= 100 and link in truth
+        ]
+        assert errs and sum(errs) / len(errs) < 0.06

@@ -1,0 +1,125 @@
+"""Tests for the ARQ MAC layer."""
+
+import pytest
+
+from repro.net.link import BernoulliLink, Channel
+from repro.net.mac import ArqMac, MacConfig, MacResult
+from repro.net.topology import line_topology
+from repro.utils.rng import RngRegistry
+
+
+def make_channel(forward_loss, reverse_loss=0.0, seed=1):
+    topo = line_topology(2)
+    models = {(1, 0): BernoulliLink(forward_loss), (0, 1): BernoulliLink(reverse_loss)}
+    return Channel(topo, models, RngRegistry(seed))
+
+
+class TestMacConfig:
+    def test_defaults(self):
+        cfg = MacConfig()
+        assert cfg.max_attempts == 31
+        assert not cfg.ack_losses
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MacConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            MacConfig(tx_time=0.0)
+        with pytest.raises(ValueError):
+            MacConfig(retry_interval=-0.1)
+
+
+class TestMacResult:
+    def test_receiver_retransmissions(self):
+        r = MacResult(attempts=4, first_received_attempt=3, acked=True, end_time=1.0)
+        assert r.received
+        assert r.receiver_retransmissions == 2
+
+    def test_failed_exchange(self):
+        r = MacResult(attempts=5, first_received_attempt=None, acked=False, end_time=1.0)
+        assert not r.received
+        assert r.receiver_retransmissions is None
+
+
+class TestArqPerfectLink:
+    def test_single_attempt_on_perfect_link(self):
+        mac = ArqMac(make_channel(0.0), MacConfig(max_retries=5))
+        result = mac.send(1, 0, 0.0)
+        assert result.attempts == 1
+        assert result.first_received_attempt == 1
+        assert result.acked
+        assert result.end_time == pytest.approx(mac.config.tx_time)
+
+    def test_always_fails_on_dead_link(self):
+        mac = ArqMac(make_channel(1.0), MacConfig(max_retries=3))
+        result = mac.send(1, 0, 0.0)
+        assert result.attempts == 4  # 1 + 3 retries
+        assert not result.received
+        assert not result.acked
+
+
+class TestArqLossyLink:
+    def test_attempts_geometric_mean(self):
+        """Mean attempts on a p-loss link ~ 1/(1-p) with generous retries."""
+        mac = ArqMac(make_channel(0.5, seed=11), MacConfig(max_retries=50))
+        n = 3000
+        attempts = [mac.send(1, 0, float(i)).attempts for i in range(n)]
+        mean = sum(attempts) / n
+        assert abs(mean - 2.0) < 0.15
+
+    def test_retry_cap_respected(self):
+        mac = ArqMac(make_channel(0.9, seed=12), MacConfig(max_retries=2))
+        for i in range(200):
+            result = mac.send(1, 0, float(i))
+            assert result.attempts <= 3
+
+    def test_delivery_rate_after_retries(self):
+        """P(delivered) = 1 - p^(max_attempts)."""
+        p = 0.6
+        retries = 4
+        mac = ArqMac(make_channel(p, seed=13), MacConfig(max_retries=retries))
+        n = 5000
+        delivered = sum(1 for i in range(n) if mac.send(1, 0, float(i)).received)
+        expected = 1 - p ** (retries + 1)
+        assert abs(delivered / n - expected) < 0.02
+
+    def test_timing_advances_per_attempt(self):
+        mac = ArqMac(make_channel(1.0), MacConfig(max_retries=2, tx_time=0.01, retry_interval=0.04))
+        result = mac.send(1, 0, 10.0)
+        # 3 failed attempts, each tx_time + retry_interval
+        assert result.end_time == pytest.approx(10.0 + 3 * 0.05)
+
+
+class TestAckLosses:
+    def test_perfect_acks_equal_first_received(self):
+        mac = ArqMac(make_channel(0.4, seed=20), MacConfig(max_retries=30))
+        for i in range(500):
+            r = mac.send(1, 0, float(i))
+            if r.acked:
+                assert r.attempts == r.first_received_attempt
+
+    def test_lossy_acks_cause_extra_attempts(self):
+        """With lossy ACKs the sender keeps transmitting after first reception."""
+        cfg = MacConfig(max_retries=30, ack_losses=True)
+        mac = ArqMac(make_channel(0.1, reverse_loss=0.5, seed=21), cfg)
+        extra = 0
+        received = 0
+        for i in range(2000):
+            r = mac.send(1, 0, float(i))
+            if r.received:
+                received += 1
+                extra += r.attempts - r.first_received_attempt
+        assert received > 0
+        assert extra / received > 0.3  # duplicates happen routinely
+
+    def test_first_received_attempt_still_geometric_under_ack_loss(self):
+        """Receiver-side first-arrival attempt depends only on the forward link."""
+        cfg = MacConfig(max_retries=60, ack_losses=True)
+        mac = ArqMac(make_channel(0.5, reverse_loss=0.5, seed=22), cfg)
+        samples = []
+        for i in range(4000):
+            r = mac.send(1, 0, float(i))
+            if r.received:
+                samples.append(r.first_received_attempt)
+        mean = sum(samples) / len(samples)
+        assert abs(mean - 2.0) < 0.15  # geometric with success 0.5

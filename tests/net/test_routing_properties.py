@@ -1,0 +1,112 @@
+"""Property-based tests on routing invariants.
+
+The tree must stay loop-free and sink-rooted no matter what sequence of
+beacon rounds, data samples, and node failures hits it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.link import uniform_loss_assigner, Channel
+from repro.net.routing import RoutingConfig, RoutingEngine
+from repro.net.topology import grid_topology, random_geometric_topology
+from repro.utils.rng import RngRegistry
+
+
+def check_tree_invariants(engine, topo, *, allow_dead=()):
+    """Every alive node reaches the sink without revisiting a node."""
+    for node in topo.nodes:
+        if node == topo.sink or node in allow_dead:
+            continue
+        seen = {node}
+        current = node
+        for _ in range(topo.num_nodes + 1):
+            parent = engine.parent(current)
+            if parent is None:
+                break  # stale/unroutable is allowed; loops are not
+            # Parents are always real neighbours.
+            assert parent in topo.neighbors(current)
+            if parent in seen:
+                # Reaching the sink is fine; revisiting anything else = loop.
+                raise AssertionError(f"routing loop at {node}: revisits {parent}")
+            seen.add(parent)
+            current = parent
+            if current == topo.sink:
+                break
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    noise=st.floats(min_value=0.0, max_value=2.0),
+    rounds=st.integers(min_value=1, max_value=30),
+)
+def test_property_beacons_never_create_loops(seed, noise, rounds):
+    topo = grid_topology(4, 4, diagonal=True)
+    reg = RngRegistry(seed)
+    channel = Channel.build(topo, uniform_loss_assigner(0.05, 0.4), reg)
+    engine = RoutingEngine(
+        topo, channel, reg,
+        RoutingConfig(etx_noise_std=noise, parent_switch_threshold=0.0),
+    )
+    for t in range(rounds):
+        engine.beacon_round(float(t))
+        check_tree_invariants(engine, topo)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    data=st.data(),
+)
+def test_property_failures_never_create_loops(seed, data):
+    topo = random_geometric_topology(20, seed=seed % 50)
+    reg = RngRegistry(seed)
+    channel = Channel.build(topo, uniform_loss_assigner(0.05, 0.3), reg)
+    engine = RoutingEngine(
+        topo, channel, reg, RoutingConfig(etx_noise_std=0.5)
+    )
+    dead = set()
+    candidates = [n for n in topo.nodes if n != topo.sink]
+    for t in range(12):
+        action = data.draw(st.sampled_from(["beacon", "fail", "recover"]))
+        if action == "beacon":
+            engine.beacon_round(float(t))
+        elif action == "fail":
+            node = data.draw(st.sampled_from(candidates))
+            if node not in dead:
+                dead.add(node)
+                engine.set_alive(node, False, float(t))
+        else:
+            if dead:
+                node = data.draw(st.sampled_from(sorted(dead)))
+                dead.discard(node)
+                engine.set_alive(node, True, float(t))
+        # Alive nodes may route through stale (dead) parents transiently;
+        # the invariant that must always hold is loop-freedom.
+        check_tree_invariants(engine, topo, allow_dead=dead)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    samples=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(1, 31)), max_size=40
+    ),
+)
+def test_property_data_samples_never_create_loops(seed, samples):
+    """Arbitrary data-driven ETX feedback keeps the tree consistent."""
+    topo = grid_topology(4, 4, diagonal=True)
+    reg = RngRegistry(seed)
+    channel = Channel.build(topo, uniform_loss_assigner(0.05, 0.4), reg)
+    engine = RoutingEngine(
+        topo, channel, reg,
+        RoutingConfig(etx_noise_std=0.3, data_alpha=0.5),
+    )
+    for i, (node, attempts) in enumerate(samples):
+        parent = engine.parent(node)
+        if node != topo.sink and parent is not None:
+            engine.on_data_sample(node, parent, attempts, float(i))
+        if i % 5 == 0:
+            engine.beacon_round(float(i))
+        check_tree_invariants(engine, topo)

@@ -1,0 +1,134 @@
+"""Tests for topology generators and queries."""
+
+import networkx as nx
+import pytest
+
+from repro.net.topology import (
+    Topology,
+    grid_topology,
+    line_topology,
+    random_geometric_topology,
+    topology_from_edges,
+)
+
+
+class TestLineTopology:
+    def test_structure(self):
+        t = line_topology(5)
+        assert t.num_nodes == 5
+        assert t.num_edges == 4
+        assert t.sink == 0
+        assert t.neighbors(2) == [1, 3]
+
+    def test_hop_distances(self):
+        t = line_topology(6)
+        assert [t.hops_to_sink(i) for i in range(6)] == [0, 1, 2, 3, 4, 5]
+        assert t.max_depth == 5
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            line_topology(1)
+
+
+class TestGridTopology:
+    def test_4_connectivity(self):
+        t = grid_topology(3, 3)
+        assert t.num_nodes == 9
+        # interior node 4 has 4 neighbors
+        assert t.neighbors(4) == [1, 3, 5, 7]
+
+    def test_8_connectivity(self):
+        t = grid_topology(3, 3, diagonal=True)
+        assert t.neighbors(4) == [0, 1, 2, 3, 5, 6, 7, 8]
+
+    def test_positions_follow_spacing(self):
+        t = grid_topology(2, 3, spacing=2.0)
+        assert t.positions[5] == (4.0, 2.0)
+
+    def test_distance(self):
+        t = grid_topology(2, 2, spacing=3.0)
+        assert t.distance(0, 3) == pytest.approx(3.0 * 2**0.5)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            grid_topology(1, 1)
+
+
+class TestRandomGeometric:
+    def test_connected_and_reproducible(self):
+        a = random_geometric_topology(50, seed=7)
+        b = random_geometric_topology(50, seed=7)
+        assert a.num_nodes == 50
+        assert nx.is_connected(a.graph)
+        assert a.undirected_edges() == b.undirected_edges()
+
+    def test_different_seeds_differ(self):
+        a = random_geometric_topology(50, seed=1)
+        b = random_geometric_topology(50, seed=2)
+        assert a.undirected_edges() != b.undirected_edges()
+
+    def test_sink_pinned_at_corner(self):
+        t = random_geometric_topology(30, seed=3, sink_position="corner")
+        assert t.positions[0] == (0.0, 0.0)
+
+    def test_sink_center(self):
+        t = random_geometric_topology(30, seed=3, sink_position="center", side=2.0)
+        assert t.positions[0] == (1.0, 1.0)
+
+    def test_invalid_sink_position(self):
+        with pytest.raises(ValueError):
+            random_geometric_topology(10, seed=0, sink_position="edge")
+
+    def test_too_few_nodes(self):
+        with pytest.raises(ValueError):
+            random_geometric_topology(1, seed=0)
+
+    def test_explicit_radius_respected(self):
+        t = random_geometric_topology(40, seed=5, radius=0.9)
+        # with a huge radius nearly everything is adjacent
+        assert t.num_edges > 40 * 5
+
+
+class TestTopologyValidation:
+    def test_rejects_disconnected(self):
+        g = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            Topology(g, sink=0)
+
+    def test_rejects_missing_sink(self):
+        g = nx.path_graph(3)
+        with pytest.raises(ValueError):
+            Topology(g, sink=99)
+
+    def test_rejects_single_node(self):
+        g = nx.Graph()
+        g.add_node(0)
+        with pytest.raises(ValueError):
+            Topology(g, sink=0)
+
+
+class TestEdgesQueries:
+    def test_directed_edges_both_ways(self):
+        t = topology_from_edges([(0, 1), (1, 2)])
+        assert t.directed_edges() == [(0, 1), (1, 0), (1, 2), (2, 1)]
+
+    def test_undirected_edges_normalized(self):
+        t = topology_from_edges([(2, 1), (1, 0)])
+        assert t.undirected_edges() == [(0, 1), (1, 2)]
+
+    def test_upstream_edges_point_sinkward(self):
+        # Diamond: 0-1, 0-2, 1-3, 2-3
+        t = topology_from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        ups = t.upstream_edges()
+        assert (1, 0) in ups and (2, 0) in ups
+        assert (3, 1) in ups and (3, 2) in ups
+        # Sink never forwards upward; downward edges excluded.
+        assert (0, 1) not in ups
+        # Equal-depth edges are kept both ways (siblings can relay laterally).
+        assert (1, 2) not in ups  # not an edge at all
+
+    def test_upstream_includes_equal_depth(self):
+        # Triangle 0-1, 0-2, 1-2: nodes 1 and 2 both depth 1.
+        t = topology_from_edges([(0, 1), (0, 2), (1, 2)])
+        ups = t.upstream_edges()
+        assert (1, 2) in ups and (2, 1) in ups

@@ -1,0 +1,116 @@
+"""Tests for trace record/replay."""
+
+import json
+
+import pytest
+
+from repro.analysis.metrics import mean_absolute_error
+from repro.net.link import uniform_loss_assigner
+from repro.net.mac import MacConfig
+from repro.net.routing import RoutingConfig
+from repro.net.simulation import CollectionSimulation, SimulationConfig
+from repro.net.topology import line_topology
+from repro.net.tracefile import (
+    load_trace,
+    replay_into_estimator,
+    save_trace,
+    truth_from_header,
+)
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    sim = CollectionSimulation(
+        line_topology(5),
+        seed=141,
+        config=SimulationConfig(
+            duration=200.0, traffic_period=2.0,
+            mac=MacConfig(max_retries=5),
+            routing=RoutingConfig(etx_noise_std=0.0),
+        ),
+        link_assigner=uniform_loss_assigner(0.1, 0.35),
+    )
+    return sim.run()
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, run_result, tmp_path):
+        path = save_trace(run_result, tmp_path / "run.jsonl")
+        header, packets = load_trace(path)
+        assert header.num_nodes == 5
+        assert header.sink == 0
+        assert header.max_attempts == 6
+        assert len(packets) == len(run_result.packets)
+
+    def test_packet_fields_preserved(self, run_result, tmp_path):
+        path = save_trace(run_result, tmp_path / "run.jsonl")
+        _, packets = load_trace(path)
+        originals = {p.key: p for p in run_result.packets}
+        for tp in packets:
+            orig = originals[(tp.origin, tp.seqno)]
+            assert tp.created_at == orig.created_at
+            assert tp.delivered == orig.delivered
+            assert len(tp.hops) == len(orig.hops)
+            for (s, r, a, d), h in zip(tp.hops, orig.hops):
+                assert (s, r, a, d) == (h.sender, h.receiver, h.attempts, h.delivered)
+
+    def test_truth_embedded(self, run_result, tmp_path):
+        path = save_trace(run_result, tmp_path / "run.jsonl")
+        header, _ = load_trace(path)
+        truth = truth_from_header(header)
+        live = run_result.ground_truth.true_loss_map()
+        assert truth == pytest.approx(live)
+
+    def test_truth_optional(self, run_result, tmp_path):
+        path = save_trace(run_result, tmp_path / "bare.jsonl", include_truth=False)
+        header, _ = load_trace(path)
+        assert header.true_losses == {}
+
+
+class TestReplay:
+    def test_replay_matches_live_estimates(self, run_result, tmp_path):
+        """Offline replay reproduces what an in-band system estimates."""
+        path = save_trace(run_result, tmp_path / "run.jsonl")
+        header, packets = load_trace(path)
+        est = replay_into_estimator(header, packets)
+        truth = truth_from_header(header)
+        losses = {l: e.loss for l, e in est.estimates().items()}
+        mae = mean_absolute_error(losses, truth)
+        assert mae is not None and mae < 0.05
+
+    def test_delivered_only_vs_all(self, run_result, tmp_path):
+        path = save_trace(run_result, tmp_path / "run.jsonl")
+        header, packets = load_trace(path)
+        inband = replay_into_estimator(header, packets, delivered_only=True)
+        outofband = replay_into_estimator(header, packets, delivered_only=False)
+        n_in = sum(inband.n_samples(l) for l in inband.links())
+        n_out = sum(outofband.n_samples(l) for l in outofband.links())
+        assert n_out >= n_in  # dropped packets' early hops add evidence
+
+
+class TestMalformedTraces:
+    def test_missing_header(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text(json.dumps({"type": "packet", "origin": 1, "seqno": 0,
+                                 "created_at": 0.0, "hops": []}) + "\n")
+        with pytest.raises(ValueError, match="no header"):
+            load_trace(p)
+
+    def test_unknown_record_type(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text(json.dumps({"type": "mystery"}) + "\n")
+        with pytest.raises(ValueError, match="unknown record type"):
+            load_trace(p)
+
+    def test_version_mismatch(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text(json.dumps({"type": "header", "format_version": 99}) + "\n")
+        with pytest.raises(ValueError, match="format version"):
+            load_trace(p)
+
+    def test_blank_lines_tolerated(self, run_result, tmp_path):
+        path = save_trace(run_result, tmp_path / "run.jsonl")
+        content = path.read_text()
+        path.write_text("\n" + content + "\n\n")
+        header, packets = load_trace(path)
+        assert len(packets) == len(run_result.packets)

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import SCENARIOS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scenario == "dynamic_rgg"
+        assert args.seed == 1
+        assert args.path_encoding == "explicit"
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scenario", "mystery"])
+
+    def test_compare_methods_default(self):
+        args = build_parser().parse_args(["compare"])
+        assert "dophy" in args.methods
+
+
+class TestCommands:
+    def test_list_scenarios(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_run_small(self, capsys):
+        rc = main(
+            ["run", "--scenario", "line", "--nodes", "4", "--duration", "40",
+             "--seed", "2", "--min-samples", "5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "decode failures" in out
+        assert "1->0" in out
+
+    def test_run_compressed_path(self, capsys):
+        rc = main(
+            ["run", "--scenario", "line", "--nodes", "4", "--duration", "30",
+             "--path-encoding", "compressed", "--min-samples", "5"]
+        )
+        assert rc == 0
+        assert "bits/pkt" in capsys.readouterr().out
+
+    def test_compare_small(self, capsys):
+        rc = main(
+            ["compare", "--scenario", "line", "--nodes", "4", "--duration", "60",
+             "--methods", "dophy,tree_ratio", "--min-samples", "5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dophy" in out and "tree_ratio" in out
+
+    def test_compare_unknown_method(self, capsys):
+        rc = main(
+            ["compare", "--scenario", "line", "--methods", "dophy,telepathy"]
+        )
+        assert rc == 2
+        assert "unknown methods" in capsys.readouterr().err
+
+    def test_nodes_flag_applies(self, capsys):
+        rc = main(
+            ["run", "--scenario", "static_rgg", "--nodes", "12",
+             "--duration", "30", "--min-samples", "1"]
+        )
+        assert rc == 0
+        assert "12 nodes" in capsys.readouterr().out

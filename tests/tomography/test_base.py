@@ -1,0 +1,101 @@
+"""Tests for the shared end-to-end observation machinery."""
+
+import pytest
+
+from repro.net.link import uniform_loss_assigner
+from repro.net.routing import RoutingConfig
+from repro.net.simulation import CollectionSimulation, SimulationConfig
+from repro.net.topology import line_topology
+from repro.tomography.base import (
+    EndToEndObserver,
+    PathSnapshotPolicy,
+    hop_success_to_frame_loss,
+)
+
+
+class TestHopSuccessConversion:
+    def test_perfect_hop(self):
+        assert hop_success_to_frame_loss(1.0, 31) == 0.0
+
+    def test_dead_hop(self):
+        assert hop_success_to_frame_loss(0.0, 31) == 1.0
+
+    def test_inverts_arq(self):
+        # frame loss p -> hop success 1 - p^A -> back to p
+        p, A = 0.4, 5
+        s = 1 - p**A
+        assert hop_success_to_frame_loss(s, A) == pytest.approx(p)
+
+    def test_single_attempt_identity(self):
+        assert hop_success_to_frame_loss(0.7, 1) == pytest.approx(0.3)
+
+    def test_clamps_out_of_range(self):
+        assert hop_success_to_frame_loss(1.2, 3) == 0.0
+        assert hop_success_to_frame_loss(-0.5, 3) == 1.0
+
+    def test_invalid_attempts(self):
+        with pytest.raises(ValueError):
+            hop_success_to_frame_loss(0.5, 0)
+
+
+class TestSnapshotPolicy:
+    def test_default_is_single_snapshot(self):
+        assert PathSnapshotPolicy().period is None
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            PathSnapshotPolicy(period=0.0)
+
+
+class TestEndToEndObserver:
+    def run_observer(self, policy=None, duration=60.0):
+        obs = EndToEndObserver(policy)
+        sim = CollectionSimulation(
+            line_topology(4),
+            seed=1,
+            config=SimulationConfig(
+                duration=duration,
+                traffic_period=5.0,
+                routing=RoutingConfig(etx_noise_std=0.0),
+            ),
+            link_assigner=uniform_loss_assigner(0.05, 0.2),
+            observers=[obs],
+        )
+        result = sim.run()
+        return obs, result
+
+    def test_collects_delivery_ratios(self):
+        obs, result = self.run_observer()
+        ratios = obs.delivery_ratios()
+        assert set(ratios) == {1, 2, 3}
+        for r in ratios.values():
+            assert 0.0 <= r <= 1.0
+
+    def test_packet_observations_match_ground_truth(self):
+        obs, result = self.run_observer()
+        delivered_count = sum(1 for _, _, d, _ in obs.packet_observations if d)
+        assert delivered_count == result.ground_truth.packets_delivered
+
+    def test_assumed_links_on_line(self):
+        obs, _ = self.run_observer()
+        assert obs.assumed_links(3) == ((3, 2), (2, 1), (1, 0))
+        assert obs.assumed_links(1) == ((1, 0),)
+
+    def test_single_snapshot_free(self):
+        obs, _ = self.run_observer()
+        assert obs.snapshots_taken == 1
+        assert obs.control_overhead_bits() == 0
+
+    def test_periodic_snapshots_cost_bits(self):
+        obs, _ = self.run_observer(PathSnapshotPolicy(period=10.0), duration=60.0)
+        assert obs.snapshots_taken >= 6
+        assert obs.control_overhead_bits() > 0
+
+    def test_windows_advance_with_snapshots(self):
+        obs, _ = self.run_observer(PathSnapshotPolicy(period=15.0), duration=60.0)
+        windows = obs.windowed_observations()
+        assert len(windows) >= 3
+
+    def test_solve_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            EndToEndObserver().solve()

@@ -1,0 +1,117 @@
+"""Tests for Boolean (bad-link identification) tomography."""
+
+import pytest
+
+from repro.analysis.detection import detection_metrics
+from repro.net.link import BernoulliLink, Channel
+from repro.net.mac import MacConfig
+from repro.net.routing import RoutingConfig
+from repro.net.simulation import CollectionSimulation, SimulationConfig
+from repro.net.topology import line_topology, topology_from_edges
+from repro.tomography.boolean import BooleanTomography
+from repro.utils.rng import RngRegistry
+
+
+def run_network(models, topo, observers, seed=51, duration=400.0, max_retries=1):
+    channel = Channel(topo, models, RngRegistry(seed))
+    sim = CollectionSimulation(
+        topo,
+        seed=seed,
+        config=SimulationConfig(
+            duration=duration,
+            traffic_period=2.0,
+            mac=MacConfig(max_retries=max_retries),
+            routing=RoutingConfig(etx_noise_std=0.0),
+        ),
+        channel=channel,
+        observers=list(observers),
+    )
+    return sim.run()
+
+
+def symmetric_models(topo, losses):
+    models = {}
+    for (u, v), loss in losses.items():
+        models[(u, v)] = BernoulliLink(loss)
+        models[(v, u)] = BernoulliLink(loss)
+    return models
+
+
+class TestDiagnosis:
+    def test_identifies_the_one_bad_link(self):
+        # Chain 0-1-2-3: link 2-3 is terrible, rest excellent.
+        topo = line_topology(4)
+        models = symmetric_models(
+            topo, {(0, 1): 0.02, (1, 2): 0.02, (2, 3): 0.7}
+        )
+        boolean = BooleanTomography(good_path_delivery=0.8)
+        run_network(models, topo, [boolean])
+        diagnosis = boolean.diagnose()
+        assert (3, 2) in diagnosis.flagged
+        assert (1, 0) in diagnosis.exonerated
+        assert (2, 1) in diagnosis.exonerated
+        assert diagnosis.good_paths >= 2
+        assert diagnosis.bad_paths >= 1
+
+    def test_all_good_network_flags_nothing(self):
+        topo = line_topology(4)
+        models = symmetric_models(
+            topo, {(0, 1): 0.02, (1, 2): 0.02, (2, 3): 0.02}
+        )
+        boolean = BooleanTomography(good_path_delivery=0.8)
+        run_network(models, topo, [boolean], max_retries=3)
+        diagnosis = boolean.diagnose()
+        assert diagnosis.flagged == set()
+        assert diagnosis.bad_paths == 0
+
+    def test_shared_bad_link_blames_common_segment(self):
+        # Y topology: 0-1, 1-2, 1-3. Link 0-1 bad: both origins 2,3 suffer.
+        topo = topology_from_edges([(0, 1), (1, 2), (1, 3)])
+        models = symmetric_models(
+            topo, {(0, 1): 0.7, (1, 2): 0.02, (1, 3): 0.02}
+        )
+        boolean = BooleanTomography(good_path_delivery=0.8)
+        run_network(models, topo, [boolean])
+        diagnosis = boolean.diagnose()
+        # Greedy cover picks the shared culprit, not the two leaf links.
+        assert (1, 0) in diagnosis.flagged
+        assert (2, 1) not in diagnosis.flagged
+        assert (3, 1) not in diagnosis.flagged
+
+    def test_detection_metrics_integration(self):
+        topo = line_topology(5)
+        losses = {(0, 1): 0.02, (1, 2): 0.6, (2, 3): 0.02, (3, 4): 0.02}
+        models = symmetric_models(topo, losses)
+        boolean = BooleanTomography(good_path_delivery=0.8)
+        result = run_network(models, topo, [boolean])
+        truth = result.ground_truth.true_loss_map(kind="empirical")
+        diagnosis = boolean.diagnose()
+        report = detection_metrics(
+            diagnosis.flagged, truth, loss_threshold=0.3
+        )
+        assert report.recall == 1.0  # the bad link is found
+        assert report.precision >= 0.5
+
+    def test_solve_maps_to_coarse_ratios(self):
+        topo = line_topology(4)
+        models = symmetric_models(topo, {(0, 1): 0.02, (1, 2): 0.02, (2, 3): 0.7})
+        boolean = BooleanTomography(good_path_delivery=0.8)
+        run_network(models, topo, [boolean])
+        tomo = boolean.solve()
+        assert tomo.method == "boolean_scfs"
+        assert set(tomo.losses.values()) <= {0.0, 1.0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BooleanTomography(good_path_delivery=1.5)
+        with pytest.raises(ValueError):
+            BooleanTomography(min_packets_per_origin=0)
+
+    def test_min_packets_gate(self):
+        topo = line_topology(3)
+        models = symmetric_models(topo, {(0, 1): 0.02, (1, 2): 0.7})
+        boolean = BooleanTomography(min_packets_per_origin=10**6)
+        run_network(models, topo, [boolean], duration=100.0)
+        diagnosis = boolean.diagnose()
+        assert diagnosis.flagged == set()
+        assert diagnosis.good_paths == 0 and diagnosis.bad_paths == 0

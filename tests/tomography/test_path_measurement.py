@@ -1,0 +1,105 @@
+"""Tests for the direct path-measurement baseline."""
+
+import pytest
+
+from repro.coding.baseline_codes import EliasGammaCode, GolombRiceCode
+from repro.core.config import DophyConfig
+from repro.core.dophy import DophySystem
+from repro.net.link import uniform_loss_assigner
+from repro.net.routing import RoutingConfig
+from repro.net.simulation import CollectionSimulation, SimulationConfig
+from repro.net.topology import line_topology
+from repro.tomography.path_measurement import PathMeasurement
+
+
+def run(observers, seed=41, duration=200.0, assigner=None):
+    sim = CollectionSimulation(
+        line_topology(5),
+        seed=seed,
+        config=SimulationConfig(
+            duration=duration,
+            traffic_period=4.0,
+            routing=RoutingConfig(etx_noise_std=0.0),
+        ),
+        link_assigner=assigner or uniform_loss_assigner(0.05, 0.3),
+        observers=list(observers),
+    )
+    return sim.run()
+
+
+class TestPathMeasurement:
+    def test_estimates_match_truth(self):
+        pm = PathMeasurement()
+        result = run([pm])
+        report = pm.report()
+        truth = result.ground_truth.true_loss_map(kind="empirical")
+        for link, est in report.estimates.items():
+            if est.n_samples >= 100:
+                assert abs(est.loss - truth[link]) < 0.08
+
+    def test_default_code_is_fixed_width(self):
+        pm = PathMeasurement()
+        run([pm])
+        assert pm.count_code.name.startswith("fixed")
+        # 31 possible attempts -> 5-bit field
+        assert pm.count_code.width == 5
+
+    def test_custom_code(self):
+        pm = PathMeasurement(count_code=EliasGammaCode())
+        run([pm])
+        assert pm.report().code_name == "elias_gamma"
+
+    def test_overhead_accounting_positive(self):
+        pm = PathMeasurement()
+        run([pm])
+        report = pm.report()
+        assert report.total_annotation_bits > 0
+        assert report.mean_bits_per_hop > pm.count_code.width  # + path ids
+
+    def test_gamma_cheaper_than_fixed_on_good_links(self):
+        fixed = PathMeasurement()
+        gamma = PathMeasurement(count_code=EliasGammaCode())
+        run([fixed, gamma], assigner=uniform_loss_assigner(0.0, 0.08))
+        assert (
+            gamma.report().mean_bits_per_hop < fixed.report().mean_bits_per_hop
+        )
+
+    def test_invalid_path_encoding(self):
+        with pytest.raises(ValueError):
+            PathMeasurement(path_encoding="magic")
+
+    def test_report_before_attach(self):
+        with pytest.raises(RuntimeError):
+            PathMeasurement().report()
+
+
+class TestDophyVsPathMeasurement:
+    """The paper's overhead headline: same evidence, far fewer bits."""
+
+    def test_same_evidence_same_estimates(self):
+        dophy = DophySystem(DophyConfig())
+        pm = PathMeasurement()
+        run([dophy, pm])
+        d_est = dophy.report().estimates
+        p_est = pm.report().estimates
+        assert set(d_est) == set(p_est)
+        for link in d_est:
+            assert d_est[link].loss == pytest.approx(p_est[link].loss, abs=1e-9)
+            assert d_est[link].n_samples == p_est[link].n_samples
+
+    def test_dophy_uses_fewer_bits(self):
+        dophy = DophySystem(DophyConfig(model_update_period=None))
+        pm = PathMeasurement()
+        run([dophy, pm], assigner=uniform_loss_assigner(0.02, 0.15))
+        d_bits = dophy.report().mean_bits_per_hop
+        p_bits = pm.report().mean_bits_per_hop
+        assert d_bits < p_bits
+
+    def test_dophy_beats_rice_too(self):
+        dophy = DophySystem(DophyConfig(model_update_period=None,
+                                        initial_expected_loss=0.1))
+        rice = PathMeasurement(count_code=GolombRiceCode(0))
+        run([dophy, rice], assigner=uniform_loss_assigner(0.02, 0.15))
+        assert (
+            dophy.report().mean_bits_per_hop < rice.report().mean_bits_per_hop
+        )

@@ -1,0 +1,78 @@
+"""Tests for result export (CSV/JSON)."""
+
+import csv
+import json
+
+import pytest
+
+from repro.workloads.export import (
+    row_to_record,
+    rows_to_records,
+    write_csv,
+    write_json,
+)
+from repro.workloads.runner import dophy_approach, run_comparison
+from repro.workloads.scenarios import line_scenario
+
+
+@pytest.fixture(scope="module")
+def comparison_row():
+    sc = line_scenario(4, duration=40.0, traffic_period=3.0)
+    rows, _ = run_comparison(sc, [dophy_approach()], seed=61)
+    return rows["dophy"]
+
+
+class TestRecords:
+    def test_flattens_all_fields(self, comparison_row):
+        record = row_to_record(comparison_row)
+        assert record["approach"] == "dophy"
+        assert isinstance(record["mae"], float)
+        assert record["packets"] > 0
+        assert 0.0 <= record["delivery_ratio"] <= 1.0
+
+    def test_extra_keys(self, comparison_row):
+        record = row_to_record(comparison_row, extra={"seed": 61, "sweep_x": 0.5})
+        assert record["seed"] == 61 and record["sweep_x"] == 0.5
+
+    def test_extra_shadowing_rejected(self, comparison_row):
+        with pytest.raises(ValueError):
+            row_to_record(comparison_row, extra={"mae": 0.0})
+
+    def test_rows_to_records(self, comparison_row):
+        records = rows_to_records([comparison_row, comparison_row], extra={"k": 1})
+        assert len(records) == 2
+        assert all(r["k"] == 1 for r in records)
+
+
+class TestWriters:
+    def test_csv_roundtrip(self, comparison_row, tmp_path):
+        records = rows_to_records([comparison_row], extra={"seed": 61})
+        out = write_csv(records, tmp_path / "results.csv")
+        with out.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 1
+        assert rows[0]["approach"] == "dophy"
+        assert rows[0]["seed"] == "61"
+
+    def test_csv_union_of_keys(self, tmp_path):
+        out = write_csv(
+            [{"a": 1}, {"a": 2, "b": 3}], tmp_path / "union.csv"
+        )
+        with out.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0]["b"] == "" and rows[1]["b"] == "3"
+
+    def test_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "x.csv")
+
+    def test_json_roundtrip(self, comparison_row, tmp_path):
+        records = rows_to_records([comparison_row])
+        out = write_json(records, tmp_path / "results.json")
+        loaded = json.loads(out.read_text())
+        assert loaded[0]["approach"] == "dophy"
+
+    def test_json_nan_becomes_null(self, tmp_path):
+        out = write_json([{"x": float("nan"), "y": 1.5}], tmp_path / "nan.json")
+        loaded = json.loads(out.read_text())
+        assert loaded[0]["x"] is None and loaded[0]["y"] == 1.5

@@ -1,0 +1,142 @@
+"""Tests for scenarios, the comparison runner, and table formatting."""
+
+import pytest
+
+from repro.workloads.runner import (
+    dophy_approach,
+    em_approach,
+    linear_approach,
+    path_measurement_approach,
+    run_comparison,
+    run_replicated,
+    tree_ratio_approach,
+)
+from repro.workloads.scenarios import (
+    bursty_rgg_scenario,
+    drifting_line_scenario,
+    dynamic_rgg_scenario,
+    line_scenario,
+    static_grid_scenario,
+    static_rgg_scenario,
+)
+from repro.workloads.tables import format_table, format_value
+
+
+class TestScenarios:
+    def test_line_scenario_builds_and_runs(self):
+        sc = line_scenario(4, duration=30.0)
+        sim = sc.make_simulation(seed=1)
+        result = sim.run()
+        assert result.ground_truth.packets_generated > 0
+
+    def test_with_config_override(self):
+        sc = line_scenario(4).with_config(duration=15.0)
+        assert sc.sim_config.duration == 15.0
+        # Original untouched (frozen dataclass copy).
+        assert line_scenario(4).sim_config.duration == 400.0
+
+    def test_all_factories_produce_named_scenarios(self):
+        for sc in [
+            line_scenario(5),
+            static_grid_scenario(3, 3),
+            static_rgg_scenario(20),
+            dynamic_rgg_scenario(20, churn_noise=0.5),
+            bursty_rgg_scenario(20),
+            drifting_line_scenario(5),
+        ]:
+            assert sc.name
+            topo = sc.topology_factory(7)
+            assert topo.num_nodes >= 4
+
+    def test_rgg_scenario_seed_controls_topology(self):
+        sc = static_rgg_scenario(25)
+        a = sc.topology_factory(1).undirected_edges()
+        b = sc.topology_factory(2).undirected_edges()
+        assert a != b
+
+
+class TestRunComparison:
+    def test_all_approaches_on_one_run(self):
+        sc = line_scenario(5, duration=120.0, traffic_period=3.0)
+        approaches = [
+            dophy_approach(),
+            path_measurement_approach(),
+            tree_ratio_approach(),
+            linear_approach(),
+            em_approach(),
+        ]
+        rows, result = run_comparison(sc, approaches, seed=3)
+        assert set(rows) == {"dophy", "direct", "tree_ratio", "linear", "em"}
+        for row in rows.values():
+            assert row.accuracy.mae is not None
+            assert 0.0 <= row.delivery_ratio <= 1.0
+        # Annotation approaches report per-packet bits; e2e ones don't.
+        assert rows["dophy"].overhead.packets > 0
+        assert rows["tree_ratio"].overhead.packets == 0
+
+    def test_dophy_more_accurate_than_e2e_under_dynamics(self):
+        sc = dynamic_rgg_scenario(
+            25, churn_noise=0.9, duration=250.0, switch_threshold=0.1
+        )
+        rows, result = run_comparison(
+            sc, [dophy_approach(), tree_ratio_approach()], seed=5, min_support=20
+        )
+        assert result.routing.total_parent_changes > 0
+        assert rows["dophy"].accuracy.mae < rows["tree_ratio"].accuracy.mae
+
+    def test_min_support_filters_low_sample_links(self):
+        sc = line_scenario(4, duration=60.0)
+        rows_all, _ = run_comparison(sc, [dophy_approach()], seed=6, min_support=0)
+        rows_flt, _ = run_comparison(sc, [dophy_approach()], seed=6, min_support=10**6)
+        assert rows_flt["dophy"].accuracy.n_links_compared == 0
+        assert rows_all["dophy"].accuracy.n_links_compared > 0
+
+
+class TestRunReplicated:
+    def test_replication_aggregates(self):
+        sc = line_scenario(4, duration=60.0)
+        out = run_replicated(
+            sc, [dophy_approach()], master_seed=42, replicates=2
+        )
+        row = out["dophy"]
+        assert row.replicates == 2
+        assert row.mae_mean >= 0.0
+        assert row.mae_std >= 0.0
+        assert row.bits_per_hop_mean > 0
+
+    def test_invalid_replicates(self):
+        with pytest.raises(ValueError):
+            run_replicated(line_scenario(3), [dophy_approach()], master_seed=1, replicates=0)
+
+
+class TestTables:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(float("nan")) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(0.123456, precision=3) == "0.123"
+        assert format_value(0.0) == "0"
+        assert format_value("abc") == "abc"
+        assert format_value(123456.0) == "1.235e+05"
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "v1", "v2"],
+            [["alpha", 1.5, None], ["b", 22.25, 0.125]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        assert "alpha" in lines[4]
+        assert "-" in lines[4]  # the None cell
+        # all rows same width
+        assert len({len(l) for l in lines[2:]}) <= 2
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
