@@ -94,11 +94,18 @@ def _cmd_list_scenarios(_args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     scenario = _make_scenario(args)
+    faults = None
+    if args.corruption_rate > 0:
+        from repro.net.faults import FaultPlan
+
+        faults = FaultPlan(seed=args.seed, corruption_rate=args.corruption_rate)
     dophy = DophySystem(
         DophyConfig(
             aggregation_threshold=args.aggregation_threshold,
             path_encoding=args.path_encoding,
-        )
+            dissemination_loss=args.dissemination_loss,
+        ),
+        faults=faults,
     )
     sim = scenario.make_simulation(args.seed, [dophy])
     result = sim.run()
@@ -117,6 +124,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{report.model_updates} model updates, "
         f"{report.decode_failures} decode failures"
     )
+    if report.decode_failures or report.duplicate_deliveries:
+        causes = report.decode_failure_causes
+        parts = [f"{cause}={n}" for cause, n in sorted(causes.items()) if n]
+        if report.sink_outage_discards:
+            parts.append(f"sink_outage={report.sink_outage_discards}")
+        if report.duplicate_deliveries:
+            parts.append(f"duplicates={report.duplicate_deliveries}")
+        if report.salvaged_packets:
+            parts.append(
+                f"salvaged={report.salvaged_packets}pkt/{report.salvaged_hops}hops"
+            )
+        print("decode-failure breakdown: " + ", ".join(parts))
+    if report.dissemination_rounds:
+        print(
+            f"dissemination: {report.dissemination_rounds} broadcast + "
+            f"{report.repair_rounds} repair rounds, "
+            f"{report.stale_nodes} stale nodes at end"
+        )
     rows = []
     for link, est in sorted(report.estimates.items()):
         if est.n_samples < args.min_samples:
@@ -219,6 +244,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--path-encoding",
         choices=["explicit", "compressed", "assumed"],
         default="explicit",
+    )
+    run_p.add_argument(
+        "--dissemination-loss",
+        type=float,
+        default=0.0,
+        help="per-node loss of each model broadcast round (0 = idealized)",
+    )
+    run_p.add_argument(
+        "--corruption-rate",
+        type=float,
+        default=0.0,
+        help="per-annotation probability of CRC-escaping bit corruption",
     )
     run_p.add_argument(
         "--save-trace",

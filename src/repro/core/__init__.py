@@ -19,7 +19,12 @@ from repro.core.annotation import AnnotationCodec, DophyAnnotation
 from repro.core.autotune import aggregation_cost_bits_per_hop, choose_aggregation_threshold
 from repro.core.bayes import BayesianLinkEstimate, BayesianLinkEstimator
 from repro.core.config import DophyConfig
-from repro.core.decoder import AnnotationDecodeError, DecodedAnnotation, decode_annotation
+from repro.core.decoder import (
+    DECODE_FAILURE_CAUSES,
+    AnnotationDecodeError,
+    DecodedAnnotation,
+    decode_annotation,
+)
 from repro.core.dophy import DophyReport, DophySystem
 from repro.core.estimator import LinkEstimate, PerLinkEstimator
 from repro.core.huffman_variant import HuffmanDophyVariant, HuffmanVariantReport
@@ -36,6 +41,7 @@ __all__ = [
     "AnnotationCodec",
     "DecodedAnnotation",
     "AnnotationDecodeError",
+    "DECODE_FAILURE_CAUSES",
     "decode_annotation",
     "LinkEstimate",
     "PerLinkEstimator",

@@ -91,16 +91,22 @@ class AnnotationCodec:
 
     # -- encoding ---------------------------------------------------------------
 
-    def new_annotation(self, time: Optional[float] = None) -> DophyAnnotation:
+    def new_annotation(
+        self, time: Optional[float] = None, origin: Optional[int] = None
+    ) -> DophyAnnotation:
         """Fresh annotation pinned to the model epoch active at ``time``.
 
         Without a time the newest epoch is used (zero-delay dissemination).
+        Under lossy dissemination (per-node epoch tracking) the packet is
+        pinned to ``origin``'s *locally received* epoch instead — a stale
+        origin keeps encoding against the last model it actually got.
         """
-        epoch = (
-            self.models.current_epoch
-            if time is None
-            else self.models.current_epoch_for(time)
-        )
+        if origin is not None and self.models.per_node_epochs:
+            epoch = self.models.epoch_of_node(origin)
+        elif time is not None:
+            epoch = self.models.current_epoch_for(time)
+        else:
+            epoch = self.models.current_epoch
         return DophyAnnotation(epoch=epoch)
 
     def annotate_hop(
@@ -116,10 +122,12 @@ class AnnotationCodec:
             # before attributing the following count symbol to a link.
             rank = self.path_model.rank(sender_id, receiver_id)
             annotation.encoder.encode_symbol(self.path_model.table, rank)
-        symbol_set = self.models.symbol_set_for(annotation.epoch)
+        # Encoder-side lookups: nodes keep the last model they received,
+        # so these also see epochs the sink's decode window already evicted.
+        symbol_set = self.models.encoder_symbol_set_for(annotation.epoch)
         count = min(retx_count, symbol_set.max_count)
         encoded = symbol_set.to_symbol(count)
-        table = self.models.table_for_link(
+        table = self.models.encoder_table_for_link(
             annotation.epoch, (sender_id, receiver_id)
         )
         annotation.encoder.encode_symbol(table, encoded.symbol)

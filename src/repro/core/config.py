@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.utils.validation import check_probability
 
@@ -42,6 +42,24 @@ class DophyConfig:
     #: Seconds a published model takes to reach the encoders (flood
     #: propagation latency); 0 = instantaneous dissemination.
     dissemination_delay: float = 0.0
+    #: Per-node probability that one dissemination broadcast round fails
+    #: to deliver the new model to that node. 0 keeps the idealized
+    #: lossless dissemination (bit-identical to the historical behaviour);
+    #: > 0 switches to per-node epoch tracking with re-broadcast repair.
+    dissemination_loss: float = 0.0
+    #: Maximum repair re-broadcast rounds per published epoch (stragglers
+    #: not reached within the budget stay on their old epoch until the
+    #: next update — absorbed by the sink's ``epoch_history`` window).
+    dissemination_retries: int = 2
+    #: Delay before the first repair round, seconds; subsequent rounds
+    #: back off exponentially (doubling), capped below.
+    dissemination_backoff: float = 2.0
+    #: Upper bound on the repair backoff delay, seconds.
+    dissemination_backoff_cap: float = 60.0
+    #: Nodes whose control-plane receive path is broken: they never get
+    #: model updates and stay pinned to the last epoch they received
+    #: (epoch 0 forever). Deterministic stragglers for fault testing.
+    dissemination_blocked_nodes: Tuple[int, ...] = ()
     #: Window of decoded history each re-estimation uses (None = update period).
     estimation_window: Optional[float] = None
     #: Prior mean link loss used to build the initial (epoch-0) model.
@@ -82,6 +100,15 @@ class DophyConfig:
             raise ValueError("link_classes must be >= 1")
         if self.dissemination_delay < 0:
             raise ValueError("dissemination_delay must be >= 0")
+        check_probability(self.dissemination_loss, "dissemination_loss")
+        if self.dissemination_retries < 0:
+            raise ValueError("dissemination_retries must be >= 0")
+        if self.dissemination_backoff <= 0:
+            raise ValueError("dissemination_backoff must be > 0")
+        if self.dissemination_backoff_cap < self.dissemination_backoff:
+            raise ValueError(
+                "dissemination_backoff_cap must be >= dissemination_backoff"
+            )
         if self.auto_aggregation and self.model_update_period is None:
             raise ValueError("auto_aggregation requires model updates")
         if self.auto_aggregation and self.aggregation_threshold is None:
@@ -91,6 +118,11 @@ class DophyConfig:
         if self.model_update_period is not None and self.model_update_period <= 0:
             raise ValueError("model_update_period must be > 0 or None")
         check_probability(self.initial_expected_loss, "initial_expected_loss")
+
+    @property
+    def lossy_dissemination(self) -> bool:
+        """True when per-node epoch tracking (lossy broadcast rounds) is on."""
+        return self.dissemination_loss > 0 or bool(self.dissemination_blocked_nodes)
 
     @staticmethod
     def node_id_bits(num_nodes: int) -> int:

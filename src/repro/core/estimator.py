@@ -20,12 +20,12 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import optimize
 
-from repro.core.decoder import DecodedAnnotation
+from repro.core.decoder import DecodedAnnotation, DecodedHop
 
 __all__ = ["LinkEstimate", "PerLinkEstimator"]
 
@@ -125,14 +125,19 @@ class PerLinkEstimator:
         d.censored.append((lo, hi))
         d.times.append(time)
 
-    def add_decoded(self, decoded: DecodedAnnotation, time: float = 0.0) -> None:
-        """Feed every hop of a decoded annotation."""
-        for hop in decoded.hops:
+    def add_hops(self, hops: Sequence[DecodedHop], time: float = 0.0) -> None:
+        """Feed a sequence of decoded hops (a full annotation's, or the
+        consistency-checked prefix salvaged from a failed decode)."""
+        for hop in hops:
             if hop.exact:
                 self.add_exact(hop.link, hop.retx_count, time)  # type: ignore[arg-type]
             else:
                 lo, hi = hop.retx_bounds
                 self.add_censored(hop.link, lo, min(hi, self.max_attempts - 1), time)
+
+    def add_decoded(self, decoded: DecodedAnnotation, time: float = 0.0) -> None:
+        """Feed every hop of a decoded annotation."""
+        self.add_hops(decoded.hops, time)
 
     # -- likelihood -------------------------------------------------------------------
 

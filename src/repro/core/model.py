@@ -11,6 +11,18 @@ Epoch numbers ride in every packet's annotation header (a small modular
 field), and the sink keeps a window of recent tables so packets encoded
 just before an update still decode.
 
+**Lossy dissemination (extension).** By default dissemination is
+idealized: every node switches to a published epoch after the global
+``activation_delay``. With per-node epoch tracking enabled
+(:meth:`ModelManager.enable_per_node_epochs`), each node instead tracks
+the latest epoch it *actually received* from broadcast/repair rounds
+(delivered by the protocol layer via :meth:`deliver_epoch`) and encodes
+against that. Stale nodes keep using their old tables — each node
+retains its last received model, mirrored here by an encoder-side
+archive of expired epochs — and the sink's ``epoch_history`` window
+absorbs moderately-stale packets; packets pinned to epochs beyond the
+window fail to decode with cause ``unknown_epoch``.
+
 **Link-class contexts (extension).** With ``num_classes > 1`` the sink
 additionally classifies links into quality classes (by their recent mean
 retransmission symbol) and maintains one table per class: good links
@@ -134,6 +146,17 @@ class ModelManager:
         self._observations: List[Tuple[float, Optional[Link], int]] = []
         self._dissemination_bits = 0
         self._updates_performed = 0
+        #: node -> latest epoch the node received (None = idealized mode).
+        self._node_epoch: Optional[Dict[int, int]] = None
+        #: When False, :meth:`maybe_update` does not self-charge a flood;
+        #: the protocol layer charges per broadcast round instead.
+        self._auto_charge_dissemination = True
+        #: Encoder-side retention of epochs evicted from the sink's decode
+        #: window (every node keeps the last model it received, so stale
+        #: encoders can still produce well-formed annotations).
+        self._archive_tables: Dict[int, List[FrequencyTable]] = {}
+        self._archive_class_maps: Dict[int, Dict[Link, int]] = {}
+        self._archive_symbol_sets: Dict[int, SymbolSet] = {}
 
     # -- encoder-facing -----------------------------------------------------------
 
@@ -177,6 +200,75 @@ class ModelManager:
         if epoch not in self._symbol_sets:
             raise KeyError(f"model epoch {epoch} not available")
         return self._symbol_sets[epoch]
+
+    # -- per-node epochs (lossy dissemination) -------------------------------------
+
+    @property
+    def per_node_epochs(self) -> bool:
+        """True when lossy dissemination (per-node epoch tracking) is enabled."""
+        return self._node_epoch is not None
+
+    def enable_per_node_epochs(
+        self, nodes: Sequence[int], *, auto_charge_dissemination: bool = False
+    ) -> None:
+        """Switch to per-node epoch tracking for ``nodes`` (all start at 0).
+
+        With ``auto_charge_dissemination=False`` (the default here) the
+        caller owns overhead accounting per broadcast round via
+        :meth:`charge_broadcast`; :meth:`maybe_update` then publishes
+        without charging.
+        """
+        self._node_epoch = {n: 0 for n in nodes}
+        self._auto_charge_dissemination = auto_charge_dissemination
+
+    def deliver_epoch(self, node: int, epoch: int) -> bool:
+        """Record that ``node`` received ``epoch``; True if it advanced."""
+        if self._node_epoch is None:
+            raise RuntimeError("per-node epochs not enabled")
+        if node not in self._node_epoch:
+            raise KeyError(f"node {node} not tracked for dissemination")
+        if epoch <= self._node_epoch[node]:
+            return False  # duplicate or out-of-order repair delivery
+        self._node_epoch[node] = epoch
+        return True
+
+    def epoch_of_node(self, node: int) -> int:
+        """The epoch ``node`` encodes against (its latest received one)."""
+        if self._node_epoch is None:
+            raise RuntimeError("per-node epochs not enabled")
+        return self._node_epoch[node]
+
+    def nodes_behind(self, epoch: int) -> List[int]:
+        """Tracked nodes that have not yet received ``epoch`` (stragglers)."""
+        if self._node_epoch is None:
+            return []
+        return sorted(n for n, e in self._node_epoch.items() if e < epoch)
+
+    def encoder_symbol_set_for(self, epoch: int) -> SymbolSet:
+        """Like :meth:`symbol_set_for`, but also sees archived epochs."""
+        got = self._symbol_sets.get(epoch)
+        if got is None:
+            got = self._archive_symbol_sets.get(epoch)
+        if got is None:
+            raise KeyError(f"model epoch {epoch} unknown to any encoder")
+        return got
+
+    def encoder_table_for_link(self, epoch: int, link: Link) -> FrequencyTable:
+        """Like :meth:`table_for_link`, but also sees archived epochs.
+
+        A node pinned to an epoch the sink already expired still holds
+        its own copy of that epoch's tables — it encodes consistently;
+        whether the *sink* can decode is a separate question answered by
+        the (history-window-limited) decode-side lookups.
+        """
+        tables = self._tables.get(epoch)
+        class_map = self._class_maps.get(epoch)
+        if tables is None:
+            tables = self._archive_tables.get(epoch)
+            class_map = self._archive_class_maps.get(epoch, {})
+        if tables is None:
+            raise KeyError(f"model epoch {epoch} unknown to any encoder")
+        return tables[(class_map or {}).get(link, 0)]
 
     @property
     def epoch_field_bits(self) -> int:
@@ -301,11 +393,15 @@ class ModelManager:
         self._activation[self._epoch] = time + self.activation_delay
         while len(self._tables) > self.epoch_history:
             victim = min(self._tables)
-            del self._tables[victim]
-            del self._class_maps[victim]
-            self._symbol_sets.pop(victim, None)
+            # The sink's decode window drops the epoch, but encoders out
+            # in the network still hold their copies — archive for them.
+            self._archive_tables[victim] = self._tables.pop(victim)
+            self._archive_class_maps[victim] = self._class_maps.pop(victim)
+            if victim in self._symbol_sets:
+                self._archive_symbol_sets[victim] = self._symbol_sets.pop(victim)
             self._activation.pop(victim, None)
-        self._dissemination_bits += self.dissemination_cost_bits(tables, class_map)
+        if self._auto_charge_dissemination:
+            self._dissemination_bits += self.dissemination_cost_bits(tables, class_map)
         self._updates_performed += 1
         return True
 
@@ -338,6 +434,36 @@ class ModelManager:
             # ordering known network-wide, so only the class id is carried.
             payload += len(class_map) * self.class_id_bits
         return payload * max(0, self.num_nodes_for_dissemination)
+
+    def epoch_payload_bits(self, epoch: int) -> int:
+        """Per-receiver payload of broadcasting ``epoch``'s model."""
+        tables = self._tables.get(epoch)
+        class_map = self._class_maps.get(epoch)
+        if tables is None:
+            tables = self._archive_tables.get(epoch)
+            class_map = self._archive_class_maps.get(epoch)
+        if tables is None:
+            raise KeyError(f"model epoch {epoch} unknown")
+        payload = sum(
+            t.serialized_size_bits(bits_per_frequency=self.bits_per_frequency)
+            for t in tables
+        )
+        if self.num_classes > 1 and class_map:
+            payload += len(class_map) * self.class_id_bits
+        return payload
+
+    def charge_broadcast(self, epoch: int, num_receivers: int) -> int:
+        """Charge one broadcast/repair round of ``epoch`` to the control plane.
+
+        Returns the bits charged (payload × receivers). Used by the
+        protocol layer when per-round accounting replaces the idealized
+        one-flood-per-update charge.
+        """
+        if num_receivers < 0:
+            raise ValueError("num_receivers must be >= 0")
+        bits = self.epoch_payload_bits(epoch) * num_receivers
+        self._dissemination_bits += bits
+        return bits
 
     @property
     def total_dissemination_bits(self) -> int:

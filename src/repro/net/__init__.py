@@ -10,6 +10,7 @@ against the links' true loss ratios.
 
 from repro.net.events import EventQueue
 from repro.net.failures import FailureEvent, FailurePlan, random_failure_plan
+from repro.net.faults import FaultPlan, SinkOutage
 from repro.net.interference import Interferer, InterfererField, interference_assigner
 from repro.net.link import (
     BernoulliLink,
@@ -55,6 +56,8 @@ __all__ = [
     "FailureEvent",
     "FailurePlan",
     "random_failure_plan",
+    "FaultPlan",
+    "SinkOutage",
     "Interferer",
     "InterfererField",
     "interference_assigner",

@@ -1,0 +1,154 @@
+"""Packet-level fault injection (extension).
+
+Node crashes (:mod:`repro.net.failures`) remove whole nodes; this module
+injects the *subtler* faults a deployed sink actually sees — corruption
+that escapes the CRC, frames cut short, link-layer duplicates, and the
+sink's own process being down — so the decode-failure taxonomy and the
+salvage path can be exercised end to end.
+
+A :class:`FaultPlan` is composable and reproducible: every stochastic
+decision draws from its own named substream of a dedicated fault seed
+(via :func:`repro.utils.rng.derive_rng`), so enabling one fault kind
+never perturbs the draws of another, nor any data-plane stream.
+
+Fault kinds:
+
+* **bit corruption** — with probability ``corruption_rate`` per delivered
+  annotation, flip 1..``max_flips`` uniformly chosen payload bits
+  (modelling corruption the 16-bit CRC failed to catch);
+* **truncation** — with probability ``truncation_rate``, cut a uniform
+  fraction off the tail of the annotation (a frame clipped mid-air);
+* **duplication** — with probability ``duplication_rate``, deliver the
+  same packet to the sink a second time (a lost ACK on the last hop);
+* **sink outages** — validated ``[start, end)`` windows during which the
+  sink discards deliveries without decoding them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_probability
+
+__all__ = ["SinkOutage", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class SinkOutage:
+    """One ``[start, end)`` window during which the sink is down."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("outage start must be >= 0")
+        if self.end <= self.start:
+            raise ValueError("outage end must be > start")
+
+    def covers(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+class FaultPlan:
+    """Composable, seeded packet-fault injector.
+
+    All rates default to 0, so an empty plan is a no-op. The plan is
+    stateless apart from its RNG streams; one instance serves one run.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        corruption_rate: float = 0.0,
+        max_flips: int = 3,
+        truncation_rate: float = 0.0,
+        duplication_rate: float = 0.0,
+        sink_outages: Sequence[SinkOutage] = (),
+    ):
+        check_probability(corruption_rate, "corruption_rate")
+        check_probability(truncation_rate, "truncation_rate")
+        check_probability(duplication_rate, "duplication_rate")
+        if max_flips < 1:
+            raise ValueError("max_flips must be >= 1")
+        ordered = sorted(sink_outages, key=lambda o: o.start)
+        for a, b in zip(ordered, ordered[1:]):
+            if b.start < a.end:
+                raise ValueError("sink outage windows must not overlap")
+        self.seed = seed
+        self.corruption_rate = corruption_rate
+        self.max_flips = max_flips
+        self.truncation_rate = truncation_rate
+        self.duplication_rate = duplication_rate
+        self.sink_outages: Tuple[SinkOutage, ...] = tuple(ordered)
+        # One substream per fault kind: enabling truncation must not
+        # shift which packets get corrupted, and vice versa.
+        self._corrupt_rng = derive_rng(seed, "faults", "corrupt")
+        self._truncate_rng = derive_rng(seed, "faults", "truncate")
+        self._duplicate_rng = derive_rng(seed, "faults", "duplicate")
+
+    @property
+    def active(self) -> bool:
+        """True when any fault kind can actually fire."""
+        return bool(
+            self.corruption_rate > 0
+            or self.truncation_rate > 0
+            or self.duplication_rate > 0
+            or self.sink_outages
+        )
+
+    # -- per-delivery hooks ------------------------------------------------------
+
+    def sink_down(self, time: float) -> bool:
+        """Is the sink inside an outage window at ``time``?"""
+        return any(o.covers(time) for o in self.sink_outages)
+
+    def draw_duplicate(self) -> bool:
+        """Should this delivery be followed by a duplicate copy?"""
+        if self.duplication_rate <= 0:
+            return False
+        return float(self._duplicate_rng.random()) < self.duplication_rate
+
+    def corrupt_annotation(
+        self, data: bytes, bit_length: int
+    ) -> Tuple[bytes, int, bool]:
+        """Maybe flip bits and/or truncate; returns (data, bits, mutated).
+
+        Bit flips land uniformly anywhere in the annotation; truncation
+        keeps a uniform prefix of at least one bit. Both can hit the same
+        packet (flips are applied first, on the full-length stream).
+        """
+        mutated = False
+        if (
+            self.corruption_rate > 0
+            and bit_length > 0
+            and float(self._corrupt_rng.random()) < self.corruption_rate
+        ):
+            buf = bytearray(data)
+            n_flips = int(self._corrupt_rng.integers(1, self.max_flips + 1))
+            for _ in range(n_flips):
+                pos = int(self._corrupt_rng.integers(0, bit_length))
+                buf[pos // 8] ^= 1 << (7 - (pos % 8))
+            data = bytes(buf)
+            mutated = True
+        if (
+            self.truncation_rate > 0
+            and bit_length > 1
+            and float(self._truncate_rng.random()) < self.truncation_rate
+        ):
+            keep = int(self._truncate_rng.integers(1, bit_length))
+            data = data[: (keep + 7) // 8]
+            bit_length = keep
+            mutated = True
+        return data, bit_length, mutated
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FaultPlan(corruption={self.corruption_rate},"
+            f" truncation={self.truncation_rate},"
+            f" duplication={self.duplication_rate},"
+            f" outages={len(self.sink_outages)})"
+        )

@@ -195,6 +195,29 @@ class CollectionSimulation:
     def is_alive(self, node: int) -> bool:
         return self._alive[node]
 
+    def control_broadcast(
+        self,
+        targets: Sequence[int],
+        loss: float,
+        stream: Tuple[str, ...] = ("dissemination",),
+    ) -> List[int]:
+        """One control-plane broadcast round; returns the targets reached.
+
+        Each alive target independently misses the round with probability
+        ``loss`` (drawn from the named RNG ``stream`` so data-plane streams
+        stay untouched); dead nodes never receive. With ``loss == 0`` no
+        randomness is consumed at all.
+        """
+        received: List[int] = []
+        rng = self.rng.get(*stream) if loss > 0 else None
+        for node in targets:
+            if not self._alive[node]:
+                continue
+            if rng is not None and float(rng.random()) < loss:
+                continue
+            received.append(node)
+        return received
+
     def _schedule_failures(self) -> None:
         if self.failure_plan is None:
             return

@@ -13,15 +13,19 @@ from hypothesis import strategies as st
 
 from repro.core.annotation import AnnotationCodec
 from repro.core.config import DophyConfig
-from repro.core.decoder import AnnotationDecodeError, decode_annotation
+from repro.core.decoder import (
+    DECODE_FAILURE_CAUSES,
+    AnnotationDecodeError,
+    decode_annotation,
+)
 from repro.core.model import ModelManager
 from repro.core.path_codec import PathRankModel
 from repro.core.symbols import SymbolSet
 from repro.net.topology import grid_topology
 
 
-def make_codec(mode="explicit", num_nodes=16):
-    cfg = DophyConfig(path_encoding=mode)
+def make_codec(mode="explicit", num_nodes=16, escape_mode="exact"):
+    cfg = DophyConfig(path_encoding=mode, escape_mode=escape_mode)
     ss = SymbolSet(cfg.max_count, cfg.aggregation_threshold)
     mm = ModelManager(ss, num_nodes_for_dissemination=num_nodes)
     topo = grid_topology(4, 4, diagonal=True)
@@ -33,7 +37,12 @@ def checked_decode(codec, data, bits, origin=15, sink=0):
     """Decode; assert the error/valid-result contract either way."""
     try:
         decoded = decode_annotation(data, bits, codec, origin=origin, sink=sink)
-    except AnnotationDecodeError:
+    except AnnotationDecodeError as exc:
+        # Every failure is attributed, and any salvageable prefix is
+        # structurally sound (one more path node than hops).
+        assert exc.cause in DECODE_FAILURE_CAUSES
+        if exc.partial_path:
+            assert len(exc.partial_path) == len(exc.partial_hops) + 1
         return None
     for hop in decoded.hops:
         lo, hi = hop.retx_bounds
@@ -78,6 +87,36 @@ class TestBitFlips:
 def test_property_random_garbage_never_crashes(payload, data):
     codec, _ = make_codec(data.draw(st.sampled_from(["explicit", "compressed"])))
     bits = data.draw(st.integers(min_value=0, max_value=8 * len(payload)))
+    checked_decode(codec, payload, bits)
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=st.data())
+def test_property_multibit_corruption_never_crashes(data):
+    """Random multi-bit corruption across path modes and escape modes.
+
+    Counts above the aggregation threshold force escape extensions, so
+    the exact-mode bypass-gamma section is inside the corrupted region.
+    """
+    mode = data.draw(st.sampled_from(["explicit", "compressed"]))
+    escape = data.draw(st.sampled_from(["exact", "censored"]))
+    codec, _ = make_codec(mode, escape_mode=escape)
+    ann = codec.new_annotation()
+    path = [15, 10, 5, 0]
+    for s, r in zip(path, path[1:]):
+        codec.annotate_hop(ann, s, r, data.draw(st.integers(0, 30)))
+    payload, bits = codec.serialize(ann)
+    n_flips = data.draw(st.integers(min_value=2, max_value=min(12, bits)))
+    positions = data.draw(
+        st.lists(
+            st.integers(0, bits - 1),
+            min_size=n_flips,
+            max_size=n_flips,
+            unique=True,
+        )
+    )
+    for i in positions:
+        payload = flip_bit(payload, i)
     checked_decode(codec, payload, bits)
 
 
