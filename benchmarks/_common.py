@@ -10,11 +10,37 @@ must hold for the reproduction to count (DESIGN.md §3).
 
 from __future__ import annotations
 
+import os
 import pathlib
 import sys
 from typing import Any, Callable
 
+from repro.exec import ParallelRunner
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def exec_runner(default_jobs: int = 1) -> ParallelRunner:
+    """Build the execution engine benches share.
+
+    Environment knobs (benches run under pytest, which has no custom
+    flags of its own here):
+
+    * ``REPRO_JOBS``       — worker processes (default: ``default_jobs``);
+    * ``REPRO_CACHE_DIR``  — enable the content-addressed result cache.
+
+    Results are byte-identical whatever ``REPRO_JOBS`` is (enforced by
+    ``tests/exec/test_determinism.py``), so the shape assertions at the
+    end of each bench hold at any parallelism.
+    """
+    jobs = int(os.environ.get("REPRO_JOBS", str(default_jobs)))
+    cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    return ParallelRunner(jobs=jobs, cache_dir=cache_dir)
+
+
+def exec_footer(runner: ParallelRunner) -> str:
+    """One-line execution report appended to a bench's emitted table."""
+    return f"[exec jobs={runner.jobs}: {runner.stats.describe()}]"
 
 
 def emit(experiment_id: str, text: str) -> None:

@@ -18,9 +18,12 @@ import numpy as np
 from repro.core.estimator import PerLinkEstimator
 from repro.workloads import format_table, line_scenario
 
-from _common import emit, run_once
+from _common import emit, exec_footer, exec_runner, run_once
 
 RETRY_CAPS = [1, 2, 4, 30]
+
+#: Each retry cap is an independent simulation — sharded over REPRO_JOBS.
+RUNNER = exec_runner()
 
 
 def _variants_from_usage(result, cap):
@@ -36,35 +39,44 @@ def _variants_from_usage(result, cap):
     return full, no_trunc
 
 
+def _point(cap):
+    """One sweep point (module-level so the process pool can pickle it)."""
+    scenario = line_scenario(
+        6, loss_low=0.4, loss_high=0.6, duration=600.0,
+        traffic_period=2.0, max_retries=cap,
+    )
+    sim = scenario.make_simulation(113)
+    result = sim.run()
+    truth = result.ground_truth.true_loss_map(kind="empirical")
+    full, no_trunc = _variants_from_usage(result, cap)
+
+    def mae(losses):
+        common = losses.keys() & truth.keys()
+        return float(
+            np.mean([abs(losses[l] - truth[l]) for l in common])
+        ) if common else float("nan")
+
+    full_losses = {l: e.loss for l, e in full.estimates().items()}
+    nt_losses = {l: e.loss for l, e in no_trunc.estimates().items()}
+    naive_losses = {
+        l: v for l in full.links()
+        if (v := full.naive_estimate(l)) is not None
+    }
+    return (
+        result.delivery_ratio,
+        mae(naive_losses),
+        mae(nt_losses),
+        mae(full_losses),
+    )
+
+
 def _run():
     table = []
     raw = {}
-    for cap in RETRY_CAPS:
-        scenario = line_scenario(
-            6, loss_low=0.4, loss_high=0.6, duration=600.0,
-            traffic_period=2.0, max_retries=cap,
-        )
-        sim = scenario.make_simulation(113)
-        result = sim.run()
-        truth = result.ground_truth.true_loss_map(kind="empirical")
-        full, no_trunc = _variants_from_usage(result, cap)
-
-        def mae(losses):
-            common = losses.keys() & truth.keys()
-            return float(
-                np.mean([abs(losses[l] - truth[l]) for l in common])
-            ) if common else float("nan")
-
-        full_losses = {l: e.loss for l, e in full.estimates().items()}
-        nt_losses = {l: e.loss for l, e in no_trunc.estimates().items()}
-        naive_losses = {
-            l: v for l in full.links()
-            if (v := full.naive_estimate(l)) is not None
-        }
-        table.append(
-            [cap, f"{result.delivery_ratio:.1%}", mae(naive_losses), mae(nt_losses), mae(full_losses)]
-        )
-        raw[cap] = (mae(naive_losses), mae(nt_losses), mae(full_losses))
+    points = RUNNER.map(_point, RETRY_CAPS)
+    for cap, (delivery, naive, no_trunc, full) in zip(RETRY_CAPS, points):
+        table.append([cap, f"{delivery:.1%}", naive, no_trunc, full])
+        raw[cap] = (naive, no_trunc, full)
     return table, raw
 
 
@@ -76,7 +88,7 @@ def test_a3_estimator_ablation(benchmark):
         title="A3: estimator ablation on lossy chain (per-link loss 40-60%)",
         precision=4,
     )
-    emit("a3_estimator_ablation", text)
+    emit("a3_estimator_ablation", text + "\n" + exec_footer(RUNNER))
 
     # Tight caps: the full MLE clearly beats both ablated variants.
     for cap in [1, 2]:

@@ -10,33 +10,35 @@ log2(N) node ids, i.e. clearly sub-linearly in N; per-hop bits are
 nearly flat.
 """
 
-from repro.workloads import (
-    dophy_approach,
-    dynamic_rgg_scenario,
-    format_table,
-    run_comparison,
-)
+from repro.exec import ComparisonTask
+from repro.workloads import dophy_approach, dynamic_rgg_scenario, format_table
 
-from _common import emit, run_once
+from _common import emit, exec_footer, exec_runner, run_once
 
 SIZES = [25, 50, 100, 200]
 
+#: One replicate per size, all independent — the engine shards them over
+#: REPRO_JOBS workers and caches each under REPRO_CACHE_DIR.
+RUNNER = exec_runner()
+
 
 def _experiment():
-    out = []
-    for n in SIZES:
-        scenario = dynamic_rgg_scenario(
-            n, churn_noise=0.4, duration=300.0, traffic_period=4.0
+    tasks = [
+        ComparisonTask(
+            scenario=dynamic_rgg_scenario(
+                n, churn_noise=0.4, duration=300.0, traffic_period=4.0
+            ),
+            approaches=(dophy_approach(),),
+            seed=107,
+            min_support=30,
         )
-        rows, result = run_comparison(
-            scenario, [dophy_approach()], seed=107, min_support=30
-        )
-        delivered = result.delivered_packets
-        mean_hops = (
-            sum(p.hop_count for p in delivered) / len(delivered) if delivered else 0.0
-        )
-        out.append((n, mean_hops, rows["dophy"], result.delivery_ratio))
-    return out
+        for n in SIZES
+    ]
+    results = RUNNER.run_comparisons(tasks)
+    return [
+        (n, r.summary.mean_hop_count, r.rows["dophy"], r.summary.delivery_ratio)
+        for n, r in zip(SIZES, results)
+    ]
 
 
 def test_f7_scalability(benchmark):
@@ -63,7 +65,7 @@ def test_f7_scalability(benchmark):
         title="F7: Dophy scalability with network size (dynamic RGG, 300s)",
         precision=3,
     )
-    emit("f7_scalability", text)
+    emit("f7_scalability", text + "\n" + exec_footer(RUNNER))
 
     # Accuracy holds at every size.
     for n in SIZES:

@@ -10,35 +10,41 @@ Expected shape: Dophy's error falls fast and is already below the
 end-to-end methods' *final* error with a fraction of the traffic.
 """
 
+from repro.exec import ComparisonTask
 from repro.workloads import (
     dophy_approach,
     em_approach,
     format_table,
-    run_comparison,
     static_rgg_scenario,
     tree_ratio_approach,
 )
 
-from _common import emit, run_once
+from _common import emit, exec_footer, exec_runner, run_once
 
 DURATIONS = [40.0, 80.0, 160.0, 320.0, 640.0]
 METHODS = ["dophy", "tree_ratio", "em"]
 
+#: One run per duration — independent tasks for the execution engine.
+RUNNER = exec_runner()
+
 
 def _experiment():
-    out = []
-    for duration in DURATIONS:
-        scenario = static_rgg_scenario(
-            50, duration=duration, traffic_period=3.0, max_retries=2
-        )
-        rows, result = run_comparison(
-            scenario,
-            [dophy_approach(), tree_ratio_approach(), em_approach()],
+    tasks = [
+        ComparisonTask(
+            scenario=static_rgg_scenario(
+                50, duration=duration, traffic_period=3.0, max_retries=2
+            ),
+            approaches=(dophy_approach(), tree_ratio_approach(), em_approach()),
             seed=108,
             min_support=10,
         )
-        out.append((duration, result.ground_truth.packets_generated, rows))
-    return out
+        for duration in DURATIONS
+    ]
+    results = RUNNER.run_comparisons(tasks)
+    return [
+        (duration, r.summary.packets_generated, r.rows)
+        for duration, r in zip(DURATIONS, results)
+    ]
 
 
 def test_f8_convergence(benchmark):
@@ -58,7 +64,7 @@ def test_f8_convergence(benchmark):
         title="F8: convergence — accuracy vs collected traffic (static 50-node RGG)",
         precision=4,
     )
-    emit("f8_convergence", text)
+    emit("f8_convergence", text + "\n" + exec_footer(RUNNER))
 
     # Dophy improves with more data...
     assert raw[(640.0, "dophy")] < raw[(40.0, "dophy")]

@@ -1,0 +1,11 @@
+"""Repo-level pytest configuration."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="Rewrite the golden-trace fixtures under tests/fixtures/golden/ "
+        "from the current code instead of comparing against them.",
+    )

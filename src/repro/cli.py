@@ -183,6 +183,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         )
         return 2
     approaches = [_METHOD_FACTORIES[m]() for m in names]
+    if args.replicates > 1:
+        return _compare_replicated(args, scenario, names, approaches)
     rows_by_name, result = run_comparison(
         scenario, approaches, seed=args.seed, min_support=args.min_samples
     )
@@ -210,6 +212,53 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             precision=4,
         )
     )
+    return 0
+
+
+def _compare_replicated(
+    args: argparse.Namespace,
+    scenario: Scenario,
+    names: List[str],
+    approaches: List[ApproachSpec],
+) -> int:
+    from repro.exec import ParallelRunner
+    from repro.workloads import run_replicated
+
+    runner = ParallelRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+    rows_by_name = run_replicated(
+        scenario,
+        approaches,
+        master_seed=args.seed,
+        replicates=args.replicates,
+        min_support=args.min_samples,
+        runner=runner,
+    )
+    rows = []
+    for name in names:
+        r = rows_by_name[name]
+        rows.append(
+            [
+                name,
+                r.mae_mean,
+                r.mae_std,
+                r.p90_mean,
+                f"{r.coverage_mean:.0%}",
+                r.bits_per_packet_mean,
+                r.control_bits_mean / 1000.0,
+            ]
+        )
+    print(
+        format_table(
+            ["method", "MAE", "MAE std", "p90 err", "coverage", "bits/pkt", "control kbits"],
+            rows,
+            title=(
+                f"{scenario.name}: {args.replicates} replicates "
+                f"(master seed {args.seed}, jobs={args.jobs})"
+            ),
+            precision=4,
+        )
+    )
+    print(f"execution: {runner.stats.describe()}")
     return 0
 
 
@@ -270,6 +319,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--methods",
         default="dophy,tree_ratio,linear,em",
         help="comma-separated subset of: " + ", ".join(_METHOD_FACTORIES),
+    )
+    cmp_p.add_argument(
+        "--replicates",
+        type=int,
+        default=1,
+        help="average over this many replicate seeds derived from --seed "
+        "(> 1 enables the replicated table and --jobs sharding)",
+    )
+    cmp_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for replicated runs; output is byte-identical "
+        "to --jobs 1 regardless of N",
+    )
+    cmp_p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache; reruns only compute replicates "
+        "missing for this exact configuration and code version",
     )
     return parser
 

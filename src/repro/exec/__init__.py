@@ -1,0 +1,26 @@
+"""Parallel replicated-run engine: process-pool sharding with a
+content-addressed result cache and determinism guarantees (DESIGN.md §6)."""
+
+from repro.exec.cache import ResultCache
+from repro.exec.hashing import code_version, stable_describe, stable_digest
+from repro.exec.parallel import (
+    ComparisonTask,
+    ComparisonTaskResult,
+    ExecutionError,
+    ExecutionStats,
+    ParallelRunner,
+    RunSummary,
+)
+
+__all__ = [
+    "ComparisonTask",
+    "ComparisonTaskResult",
+    "ExecutionError",
+    "ExecutionStats",
+    "ParallelRunner",
+    "ResultCache",
+    "RunSummary",
+    "code_version",
+    "stable_describe",
+    "stable_digest",
+]

@@ -1,0 +1,115 @@
+"""Stable content hashing for cache keys.
+
+The result cache (:mod:`repro.exec.cache`) keys every stored replicate by
+a digest of *everything that determines its value*: the scenario, the
+approach specs, the seed, the scoring knobs, and the version of the code
+itself. Two requirements shape the implementation:
+
+* the digest must be identical across processes and interpreter
+  invocations (so a cache written by one run is readable by the next) —
+  plain ``hash()`` and ``pickle`` memoization are both out;
+* the description must be *inspectable*: each cache entry stores the
+  canonical text it was keyed by, so a human can ``ResultCache.inspect``
+  an entry and see exactly which configuration produced it.
+
+:func:`stable_describe` therefore renders an object graph into a
+canonical string (sorted dict keys, qualified names for callables,
+dataclasses by field) and :func:`stable_digest` hashes that string.
+:func:`code_version` digests every ``.py`` file of the installed
+``repro`` package so that editing any source file invalidates the cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import pathlib
+from typing import Any
+
+__all__ = ["stable_describe", "stable_digest", "code_version"]
+
+
+def _qualified_name(obj: Any) -> str:
+    module = getattr(obj, "__module__", "?")
+    qualname = getattr(obj, "__qualname__", getattr(obj, "__name__", repr(obj)))
+    return f"{module}:{qualname}"
+
+
+def stable_describe(obj: Any) -> str:
+    """Render ``obj`` into a canonical, process-independent string."""
+    if obj is None or isinstance(obj, (bool, int)):
+        return repr(obj)
+    if isinstance(obj, float):
+        # repr round-trips doubles exactly and is stable across platforms.
+        return repr(obj)
+    if isinstance(obj, str):
+        return repr(obj)
+    if isinstance(obj, bytes):
+        return f"bytes:{obj.hex()}"
+    if isinstance(obj, (list, tuple)):
+        kind = "list" if isinstance(obj, list) else "tuple"
+        return f"{kind}[" + ",".join(stable_describe(x) for x in obj) + "]"
+    if isinstance(obj, (set, frozenset)):
+        return "set{" + ",".join(sorted(stable_describe(x) for x in obj)) + "}"
+    if isinstance(obj, dict):
+        items = sorted(
+            (stable_describe(k), stable_describe(v)) for k, v in obj.items()
+        )
+        return "dict{" + ",".join(f"{k}=>{v}" for k, v in items) + "}"
+    if isinstance(obj, functools.partial):
+        return (
+            f"partial({stable_describe(obj.func)},"
+            f"args={stable_describe(obj.args)},"
+            f"kwargs={stable_describe(obj.keywords)})"
+        )
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = ",".join(
+            f"{f.name}={stable_describe(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj)
+        )
+        return f"{_qualified_name(type(obj))}({fields})"
+    if isinstance(obj, type) or callable(obj):
+        # Plain functions, methods and classes are identified by where
+        # they live; their behaviour is covered by code_version().
+        return f"callable:{_qualified_name(obj)}"
+    # numpy scalars and anything else exposing item()/tolist().
+    for attr in ("tolist", "item"):
+        converter = getattr(obj, attr, None)
+        if converter is not None:
+            try:
+                return stable_describe(converter())
+            except Exception:  # pragma: no cover - fall through to vars()
+                break
+    state = getattr(obj, "__dict__", None)
+    if state is not None:
+        return f"{_qualified_name(type(obj))}*{stable_describe(state)}"
+    raise TypeError(f"cannot stably describe {type(obj)!r}")
+
+
+def stable_digest(*parts: Any) -> str:
+    """SHA-256 hex digest of the canonical description of ``parts``."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(stable_describe(part).encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+@functools.lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of every ``.py`` source file of the ``repro`` package.
+
+    Any edit to the package invalidates all cache entries — crude but
+    safe, and cheap (one read of the source tree per process).
+    """
+    import repro
+
+    root = pathlib.Path(repro.__file__).parent
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        h.update(str(path.relative_to(root)).encode("utf-8"))
+        h.update(b"\x00")
+        h.update(path.read_bytes())
+        h.update(b"\x00")
+    return h.hexdigest()

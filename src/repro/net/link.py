@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
 import numpy as np
@@ -179,20 +180,43 @@ class DriftingLink(LinkModel):
 #: Signature of per-link model factories: (u, v, rng) -> LinkModel.
 LinkAssigner = Callable[[int, int, np.random.Generator], LinkModel]
 
+# Assigners are frozen-dataclass callables rather than closures so that
+# scenarios embedding them can be pickled to process-pool workers
+# (repro.exec) and hashed into stable cache keys.
 
-def uniform_loss_assigner(
-    low: float, high: float
-) -> LinkAssigner:
+
+@dataclass(frozen=True)
+class _UniformLossAssigner:
+    low: float
+    high: float
+
+    def __call__(self, u: int, v: int, rng: np.random.Generator) -> LinkModel:
+        return BernoulliLink(float(rng.uniform(self.low, self.high)))
+
+
+def uniform_loss_assigner(low: float, high: float) -> LinkAssigner:
     """Assign each directed link an iid Bernoulli loss drawn U[low, high]."""
     check_probability(low, "low")
     check_probability(high, "high")
     if high < low:
         raise ValueError("high must be >= low")
+    return _UniformLossAssigner(low, high)
 
-    def make(u: int, v: int, rng: np.random.Generator) -> LinkModel:
-        return BernoulliLink(float(rng.uniform(low, high)))
 
-    return make
+@dataclass(frozen=True)
+class _GilbertElliottAssigner:
+    p_good_to_bad: float
+    p_bad_to_good: float
+    loss_good_range: Tuple[float, float]
+    loss_bad_range: Tuple[float, float]
+
+    def __call__(self, u: int, v: int, rng: np.random.Generator) -> LinkModel:
+        return GilbertElliottLink(
+            self.p_good_to_bad,
+            self.p_bad_to_good,
+            loss_good=float(rng.uniform(*self.loss_good_range)),
+            loss_bad=float(rng.uniform(*self.loss_bad_range)),
+        )
 
 
 def gilbert_elliott_assigner(
@@ -209,16 +233,24 @@ def gilbert_elliott_assigner(
     """
     check_probability(p_good_to_bad, "p_good_to_bad")
     check_probability(p_bad_to_good, "p_bad_to_good")
+    return _GilbertElliottAssigner(
+        p_good_to_bad, p_bad_to_good, tuple(loss_good_range), tuple(loss_bad_range)
+    )
 
-    def make(u: int, v: int, rng: np.random.Generator) -> LinkModel:
-        return GilbertElliottLink(
-            p_good_to_bad,
-            p_bad_to_good,
-            loss_good=float(rng.uniform(*loss_good_range)),
-            loss_bad=float(rng.uniform(*loss_bad_range)),
+
+@dataclass(frozen=True)
+class _DriftingLossAssigner:
+    base_range: Tuple[float, float]
+    amplitude_range: Tuple[float, float]
+    period_range: Tuple[float, float]
+
+    def __call__(self, u: int, v: int, rng: np.random.Generator) -> LinkModel:
+        return DriftingLink(
+            base_loss=float(rng.uniform(*self.base_range)),
+            amplitude=float(rng.uniform(*self.amplitude_range)),
+            period=float(rng.uniform(*self.period_range)),
+            phase=float(rng.uniform(0.0, 2.0 * math.pi)),
         )
-
-    return make
 
 
 def drifting_loss_assigner(
@@ -232,16 +264,21 @@ def drifting_loss_assigner(
     Random phases decorrelate the links, so the network-wide symbol
     distribution drifts — the regime Dophy's periodic model updates target.
     """
+    return _DriftingLossAssigner(
+        tuple(base_range), tuple(amplitude_range), tuple(period_range)
+    )
 
-    def make(u: int, v: int, rng: np.random.Generator) -> LinkModel:
-        return DriftingLink(
-            base_loss=float(rng.uniform(*base_range)),
-            amplitude=float(rng.uniform(*amplitude_range)),
-            period=float(rng.uniform(*period_range)),
-            phase=float(rng.uniform(0.0, 2.0 * math.pi)),
+
+@dataclass(frozen=True)
+class _BetaLossAssigner:
+    alpha: float
+    beta: float
+    scale: float
+
+    def __call__(self, u: int, v: int, rng: np.random.Generator) -> LinkModel:
+        return BernoulliLink(
+            float(min(1.0, self.scale * rng.beta(self.alpha, self.beta)))
         )
-
-    return make
 
 
 def beta_loss_assigner(alpha: float, beta: float, scale: float = 1.0) -> LinkAssigner:
@@ -253,11 +290,7 @@ def beta_loss_assigner(alpha: float, beta: float, scale: float = 1.0) -> LinkAss
     check_positive(alpha, "alpha")
     check_positive(beta, "beta")
     check_probability(scale, "scale")
-
-    def make(u: int, v: int, rng: np.random.Generator) -> LinkModel:
-        return BernoulliLink(float(min(1.0, scale * rng.beta(alpha, beta))))
-
-    return make
+    return _BetaLossAssigner(alpha, beta, scale)
 
 
 class Channel:

@@ -4,7 +4,16 @@ All approaches under comparison observe the *same* simulation (they are
 passive observers, so attaching several never perturbs the channel or
 routing randomness) — paired comparisons with common random numbers.
 :func:`run_comparison` executes one seed; :func:`run_replicated` averages
-over several.
+over several, optionally sharding the replicates over a process pool
+(``jobs``) with a content-addressed result cache (``cache_dir``) — see
+:mod:`repro.exec`.
+
+Everything an :class:`ApproachSpec` holds must be picklable: factories
+are frozen-dataclass callables and extractors are module-level functions
+(never closures), because specs ride inside
+:class:`repro.exec.ComparisonTask` payloads to pool workers and into
+stable cache keys. ``tests/workloads/test_dispatchable.py`` enforces
+this for every spec this module exports.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ __all__ = [
     "ApproachOutcome",
     "ApproachSpec",
     "ComparisonRow",
+    "ReplicatedRow",
     "dophy_approach",
     "huffman_dophy_approach",
     "path_measurement_approach",
@@ -55,6 +65,9 @@ class ApproachOutcome:
     annotation_bits: List[int] = field(default_factory=list)
     annotation_hops: List[int] = field(default_factory=list)
     control_bits: int = 0
+    #: Failure taxonomy counts (decode-failure causes, sink outages,
+    #: duplicates, salvage activity); {} for approaches without one.
+    failure_counts: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -67,25 +80,79 @@ class ApproachSpec:
 
 
 # -- standard approach specs ----------------------------------------------------------
+#
+# Factories are frozen-dataclass callables and extractors module-level
+# functions so every spec pickles to process-pool workers.
+
+
+def _failure_taxonomy(report) -> Dict[str, int]:
+    """Flatten a Dophy-style report's failure counters (0s for reports
+    that predate a counter, e.g. the Huffman variant's)."""
+    counts: Dict[str, int] = dict(getattr(report, "decode_failure_causes", {}) or {})
+    counts["decode_failures"] = getattr(report, "decode_failures", 0)
+    counts["sink_outage_discards"] = getattr(report, "sink_outage_discards", 0)
+    counts["duplicate_deliveries"] = getattr(report, "duplicate_deliveries", 0)
+    counts["salvaged_packets"] = getattr(report, "salvaged_packets", 0)
+    counts["salvaged_hops"] = getattr(report, "salvaged_hops", 0)
+    return counts
+
+
+def _extract_model_report(obs, result: SimulationResult) -> ApproachOutcome:
+    """Shared extractor for Dophy-style observers (full pipeline reports)."""
+    report = obs.report()
+    return ApproachOutcome(
+        losses={l: e.loss for l, e in report.estimates.items()},
+        support={l: e.n_samples for l, e in report.estimates.items()},
+        annotation_bits=report.annotation_bits,
+        annotation_hops=report.annotation_hops,
+        control_bits=report.dissemination_bits,
+        failure_counts=_failure_taxonomy(report),
+    )
+
+
+def _extract_path_report(
+    obs: PathMeasurement, result: SimulationResult
+) -> ApproachOutcome:
+    report = obs.report()
+    return ApproachOutcome(
+        losses={l: e.loss for l, e in report.estimates.items()},
+        support={l: e.n_samples for l, e in report.estimates.items()},
+        annotation_bits=report.annotation_bits,
+        annotation_hops=report.annotation_hops,
+    )
+
+
+def _extract_end_to_end(obs, result: SimulationResult) -> ApproachOutcome:
+    tomo = obs.solve()
+    return ApproachOutcome(
+        losses=tomo.losses,
+        support=tomo.support,
+        control_bits=obs.control_overhead_bits(),
+    )
+
+
+@dataclass(frozen=True)
+class _DophyFactory:
+    config: Optional[DophyConfig] = None
+
+    def __call__(self) -> DophySystem:
+        return DophySystem(self.config or DophyConfig())
 
 
 def dophy_approach(
     name: str = "dophy", config: Optional[DophyConfig] = None
 ) -> ApproachSpec:
-    def factory() -> DophySystem:
-        return DophySystem(config or DophyConfig())
+    return ApproachSpec(name, _DophyFactory(config), _extract_model_report)
 
-    def extract(obs: DophySystem, result: SimulationResult) -> ApproachOutcome:
-        report = obs.report()
-        return ApproachOutcome(
-            losses={l: e.loss for l, e in report.estimates.items()},
-            support={l: e.n_samples for l, e in report.estimates.items()},
-            annotation_bits=report.annotation_bits,
-            annotation_hops=report.annotation_hops,
-            control_bits=report.dissemination_bits,
-        )
 
-    return ApproachSpec(name, factory, extract)
+@dataclass(frozen=True)
+class _HuffmanDophyFactory:
+    config: Optional[DophyConfig] = None
+
+    def __call__(self):
+        from repro.core.huffman_variant import HuffmanDophyVariant
+
+        return HuffmanDophyVariant(self.config or DophyConfig())
 
 
 def huffman_dophy_approach(
@@ -93,22 +160,16 @@ def huffman_dophy_approach(
 ) -> ApproachSpec:
     """Dophy's full pipeline with canonical Huffman instead of arithmetic
     coding — the surgical entropy-coder ablation."""
-    from repro.core.huffman_variant import HuffmanDophyVariant
+    return ApproachSpec(name, _HuffmanDophyFactory(config), _extract_model_report)
 
-    def factory() -> "HuffmanDophyVariant":
-        return HuffmanDophyVariant(config or DophyConfig())
 
-    def extract(obs, result: SimulationResult) -> ApproachOutcome:
-        report = obs.report()
-        return ApproachOutcome(
-            losses={l: e.loss for l, e in report.estimates.items()},
-            support={l: e.n_samples for l, e in report.estimates.items()},
-            annotation_bits=report.annotation_bits,
-            annotation_hops=report.annotation_hops,
-            control_bits=report.dissemination_bits,
-        )
+@dataclass(frozen=True)
+class _PathMeasurementFactory:
+    count_code: Optional[IntegerCode] = None
+    path_encoding: str = "explicit"
 
-    return ApproachSpec(name, factory, extract)
+    def __call__(self) -> PathMeasurement:
+        return PathMeasurement(self.count_code, path_encoding=self.path_encoding)
 
 
 def path_measurement_approach(
@@ -117,34 +178,24 @@ def path_measurement_approach(
     *,
     path_encoding: str = "explicit",
 ) -> ApproachSpec:
-    def factory() -> PathMeasurement:
-        return PathMeasurement(count_code, path_encoding=path_encoding)
-
-    def extract(obs: PathMeasurement, result: SimulationResult) -> ApproachOutcome:
-        report = obs.report()
-        return ApproachOutcome(
-            losses={l: e.loss for l, e in report.estimates.items()},
-            support={l: e.n_samples for l, e in report.estimates.items()},
-            annotation_bits=report.annotation_bits,
-            annotation_hops=report.annotation_hops,
-        )
-
-    return ApproachSpec(name, factory, extract)
+    return ApproachSpec(
+        name, _PathMeasurementFactory(count_code, path_encoding), _extract_path_report
+    )
 
 
-def _end_to_end_spec(name: str, cls, policy: Optional[PathSnapshotPolicy]) -> ApproachSpec:
-    def factory():
-        return cls(policy)
+@dataclass(frozen=True)
+class _EndToEndFactory:
+    cls: type
+    policy: Optional[PathSnapshotPolicy] = None
 
-    def extract(obs, result: SimulationResult) -> ApproachOutcome:
-        tomo = obs.solve()
-        return ApproachOutcome(
-            losses=tomo.losses,
-            support=tomo.support,
-            control_bits=obs.control_overhead_bits(),
-        )
+    def __call__(self):
+        return self.cls(self.policy)
 
-    return ApproachSpec(name, factory, extract)
+
+def _end_to_end_spec(
+    name: str, cls: type, policy: Optional[PathSnapshotPolicy]
+) -> ApproachSpec:
+    return ApproachSpec(name, _EndToEndFactory(cls, policy), _extract_end_to_end)
 
 
 def tree_ratio_approach(
@@ -183,6 +234,16 @@ class ComparisonRow:
         return self.accuracy.mae
 
 
+@dataclass(frozen=True)
+class _AnnotationView:
+    """Report-shaped adapter feeding an outcome's bit lists to
+    :func:`summarize_overhead` (module-scoped: workers pickle rows built
+    from it, and an inner class would defeat that)."""
+
+    annotation_bits: List[int]
+    annotation_hops: List[int]
+
+
 def run_comparison(
     scenario: Scenario,
     approaches: Sequence[ApproachSpec],
@@ -206,13 +267,10 @@ def run_comparison(
             min_support=min_support,
             support=outcome.support,
         )
-
-        class _Rep:
-            annotation_bits = outcome.annotation_bits
-            annotation_hops = outcome.annotation_hops
-
         overhead = summarize_overhead(
-            _Rep(), method=spec.name, control_bits=outcome.control_bits
+            _AnnotationView(outcome.annotation_bits, outcome.annotation_hops),
+            method=spec.name,
+            control_bits=outcome.control_bits,
         )
         rows[spec.name] = ComparisonRow(
             approach=spec.name,
@@ -249,21 +307,40 @@ def run_replicated(
     replicates: int = 3,
     min_support: int = 0,
     truth_kind: str = "empirical",
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    runner: Optional["ParallelRunner"] = None,
 ) -> Dict[str, ReplicatedRow]:
-    """Average :func:`run_comparison` over independent replicate seeds."""
+    """Average :func:`run_comparison` over independent replicate seeds.
+
+    Replicate seeds are derived up-front with :func:`spawn_seeds`, so
+    each replicate's random streams are fixed by ``(master_seed, index)``
+    alone — never by scheduling. ``jobs > 1`` shards the replicates over
+    a process pool with byte-identical output to ``jobs=1``;
+    ``cache_dir`` skips replicates already computed for this exact
+    configuration and code version. Pass an explicit ``runner`` to reuse
+    a pool/cache across calls and to read ``runner.stats`` afterwards.
+    """
+    from repro.exec.parallel import ComparisonTask, ParallelRunner
+
     if replicates < 1:
         raise ValueError("replicates must be >= 1")
     seeds = spawn_seeds(master_seed, replicates)
-    acc: Dict[str, List[ComparisonRow]] = {spec.name: [] for spec in approaches}
-    for seed in seeds:
-        rows, _ = run_comparison(
-            scenario,
-            approaches,
+    if runner is None:
+        runner = ParallelRunner(jobs=jobs, cache_dir=cache_dir)
+    tasks = [
+        ComparisonTask(
+            scenario=scenario,
+            approaches=tuple(approaches),
             seed=seed,
             min_support=min_support,
             truth_kind=truth_kind,
         )
-        for name, row in rows.items():
+        for seed in seeds
+    ]
+    acc: Dict[str, List[ComparisonRow]] = {spec.name: [] for spec in approaches}
+    for task_result in runner.run_comparisons(tasks):
+        for name, row in task_result.rows.items():
             acc[name].append(row)
     out: Dict[str, ReplicatedRow] = {}
     for name, rows_list in acc.items():

@@ -9,6 +9,7 @@ reconstructed experiments (DESIGN.md §3) sweep over.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import partial
 from typing import Callable, Optional, Sequence
 
 from repro.net.failures import FailurePlan, random_failure_plan
@@ -112,6 +113,65 @@ def _config(
     )
 
 
+# -- picklable factory helpers -----------------------------------------------------
+#
+# Scenarios travel to process-pool workers (repro.exec) and into stable
+# cache keys, so everything a Scenario holds must be a module-level
+# callable (or a functools.partial of one) — never a lambda or closure.
+
+
+def _line_topo(num_nodes: int, seed: int) -> Topology:
+    return line_topology(num_nodes)
+
+
+def _grid_topo(rows: int, cols: int, seed: int) -> Topology:
+    return grid_topology(rows, cols, diagonal=True)
+
+
+def _rgg_topo(num_nodes: int, seed: int) -> Topology:
+    return random_geometric_topology(num_nodes, seed=seed)
+
+
+def _random_failures_plan(
+    num_failures: int,
+    duration: float,
+    mean_downtime: float,
+    topology: Topology,
+    seed: int,
+) -> FailurePlan:
+    rng = derive_rng(seed, "failures")
+    return random_failure_plan(
+        topology,
+        rng,
+        num_failures=num_failures,
+        duration=duration,
+        mean_downtime=mean_downtime,
+    )
+
+
+def _interference_field_assigner(
+    num_interferers: int,
+    radius: float,
+    loss_penalty: float,
+    mean_on: float,
+    mean_off: float,
+    topology: Topology,
+    seed: int,
+) -> LinkAssigner:
+    from repro.net.interference import InterfererField, interference_assigner
+
+    field = InterfererField.random(
+        topology,
+        seed=seed,
+        num_interferers=num_interferers,
+        radius=radius,
+        loss_penalty=loss_penalty,
+        mean_on=mean_on,
+        mean_off=mean_off,
+    )
+    return interference_assigner(topology, field)
+
+
 def line_scenario(
     num_nodes: int = 8,
     *,
@@ -124,7 +184,7 @@ def line_scenario(
     """Chain topology — controlled path lengths for encoding sweeps."""
     return Scenario(
         name=f"line{num_nodes}",
-        topology_factory=lambda seed: line_topology(num_nodes),
+        topology_factory=partial(_line_topo, num_nodes),
         link_assigner=uniform_loss_assigner(loss_low, loss_high),
         sim_config=_config(
             duration=duration,
@@ -147,7 +207,7 @@ def static_grid_scenario(
     """Static multi-parent grid (8-connectivity, but no ETX noise)."""
     return Scenario(
         name=f"grid{rows}x{cols}",
-        topology_factory=lambda seed: grid_topology(rows, cols, diagonal=True),
+        topology_factory=partial(_grid_topo, rows, cols),
         link_assigner=uniform_loss_assigner(loss_low, loss_high),
         sim_config=_config(
             duration=duration, traffic_period=traffic_period, noise=0.0
@@ -173,7 +233,7 @@ def static_rgg_scenario(
     """
     return Scenario(
         name=f"static_rgg{num_nodes}",
-        topology_factory=lambda seed: random_geometric_topology(num_nodes, seed=seed),
+        topology_factory=partial(_rgg_topo, num_nodes),
         link_assigner=uniform_loss_assigner(loss_low, loss_high),
         sim_config=_config(
             duration=duration, traffic_period=traffic_period, noise=0.0,
@@ -201,7 +261,7 @@ def dynamic_rgg_scenario(
     """
     return Scenario(
         name=f"dynamic_rgg{num_nodes}_n{churn_noise:g}",
-        topology_factory=lambda seed: random_geometric_topology(num_nodes, seed=seed),
+        topology_factory=partial(_rgg_topo, num_nodes),
         link_assigner=uniform_loss_assigner(loss_low, loss_high),
         sim_config=_config(
             duration=duration,
@@ -226,7 +286,7 @@ def bursty_rgg_scenario(
     """Gilbert–Elliott bursty links (violates the iid assumption)."""
     return Scenario(
         name=f"bursty_rgg{num_nodes}",
-        topology_factory=lambda seed: random_geometric_topology(num_nodes, seed=seed),
+        topology_factory=partial(_rgg_topo, num_nodes),
         link_assigner=gilbert_elliott_assigner(
             p_good_to_bad=p_good_to_bad, p_bad_to_good=p_bad_to_good
         ),
@@ -248,7 +308,7 @@ def drifting_rgg_scenario(
     """Non-stationary link qualities — the model-update ablation's regime."""
     return Scenario(
         name=f"drifting_rgg{num_nodes}",
-        topology_factory=lambda seed: random_geometric_topology(num_nodes, seed=seed),
+        topology_factory=partial(_rgg_topo, num_nodes),
         link_assigner=drifting_loss_assigner(period_range=period_range),
         sim_config=_config(
             duration=duration, traffic_period=traffic_period, noise=churn_noise
@@ -266,7 +326,7 @@ def drifting_line_scenario(
     """Drifting links on a chain — isolates model updates from routing churn."""
     return Scenario(
         name=f"drifting_line{num_nodes}",
-        topology_factory=lambda seed: line_topology(num_nodes),
+        topology_factory=partial(_line_topo, num_nodes),
         link_assigner=drifting_loss_assigner(period_range=period_range),
         sim_config=_config(
             duration=duration, traffic_period=traffic_period, noise=0.0
@@ -294,19 +354,13 @@ def failing_rgg_scenario(
     ``churn_noise=0`` the *only* dynamics are the failures.
     """
 
-    def plan_factory(topology: Topology, seed: int) -> FailurePlan:
-        rng = derive_rng(seed, "failures")
-        return random_failure_plan(
-            topology,
-            rng,
-            num_failures=num_failures,
-            duration=duration,
-            mean_downtime=mean_downtime,
-        )
+    plan_factory = partial(
+        _random_failures_plan, num_failures, duration, mean_downtime
+    )
 
     return Scenario(
         name=f"failing_rgg{num_nodes}_f{num_failures}",
-        topology_factory=lambda seed: random_geometric_topology(num_nodes, seed=seed),
+        topology_factory=partial(_rgg_topo, num_nodes),
         link_assigner=uniform_loss_assigner(loss_low, loss_high),
         sim_config=_config(
             duration=duration,
@@ -336,23 +390,18 @@ def interference_rgg_scenario(
     On/off interference sources degrade every link in their neighbourhood
     simultaneously — cross-link loss correlation no per-link model has.
     """
-    from repro.net.interference import InterfererField, interference_assigner
-
-    def assigner_factory(topology: Topology, seed: int):
-        field = InterfererField.random(
-            topology,
-            seed=seed,
-            num_interferers=num_interferers,
-            radius=interferer_radius,
-            loss_penalty=loss_penalty,
-            mean_on=mean_on,
-            mean_off=mean_off,
-        )
-        return interference_assigner(topology, field)
+    assigner_factory = partial(
+        _interference_field_assigner,
+        num_interferers,
+        interferer_radius,
+        loss_penalty,
+        mean_on,
+        mean_off,
+    )
 
     return Scenario(
         name=f"interference_rgg{num_nodes}_i{num_interferers}",
-        topology_factory=lambda seed: random_geometric_topology(num_nodes, seed=seed),
+        topology_factory=partial(_rgg_topo, num_nodes),
         link_assigner=None,
         sim_config=_config(
             duration=duration,

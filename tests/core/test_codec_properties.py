@@ -1,0 +1,171 @@
+"""Randomized property suites for the codecs and the result dataclasses.
+
+Driven by a seeded ``random.Random`` (printing the failing seed/case in
+the assertion message) so failures replay exactly — no extra test
+dependencies, and every run covers the same case set.
+"""
+
+import pickle
+import random
+
+from repro.core.config import DophyConfig
+from repro.core.decoder import decode_annotation
+from repro.core.path_codec import PathRankModel
+from repro.net.topology import grid_topology, random_geometric_topology
+from repro.workloads import (
+    dophy_approach,
+    line_scenario,
+    run_comparison,
+    run_replicated,
+    tree_ratio_approach,
+)
+
+from tests.core.test_annotation_decode import annotate_path, make_codec
+
+N_CASES = 60
+
+
+class TestPathRankProperties:
+    def _topologies(self):
+        yield "grid4x4", grid_topology(4, 4)
+        rng = random.Random(99)
+        for i in range(3):
+            yield f"rgg{i}", random_geometric_topology(
+                20, radius=0.45, seed=rng.randrange(2**31)
+            )
+
+    def test_rank_neighbor_at_inverse_everywhere(self):
+        """neighbor_at(sender, rank(sender, v)) == v for every edge, and
+        rank(sender, neighbor_at(sender, k)) == k for every valid rank."""
+        for label, topo in self._topologies():
+            model = PathRankModel(topo)
+            for node in topo.nodes:
+                neighbors = list(topo.neighbors(node))
+                for v in neighbors:
+                    k = model.rank(node, v)
+                    assert model.neighbor_at(node, k) == v, (label, node, v)
+                for k in range(len(neighbors)):
+                    assert model.rank(node, model.neighbor_at(node, k)) == k, (
+                        label,
+                        node,
+                        k,
+                    )
+
+    def test_random_walks_roundtrip_through_ranks(self):
+        """A random sinkward-ish walk encoded hop-by-hop as ranks decodes
+        back to the identical node sequence."""
+        rng = random.Random(2024)
+        for label, topo in self._topologies():
+            model = PathRankModel(topo)
+            for case in range(N_CASES):
+                node = rng.choice(list(topo.nodes))
+                path = [node]
+                for _ in range(rng.randrange(1, 8)):
+                    nxt = rng.choice(list(topo.neighbors(path[-1])))
+                    path.append(nxt)
+                ranks = [
+                    model.rank(a, b) for a, b in zip(path, path[1:])
+                ]
+                rebuilt = [path[0]]
+                for k in ranks:
+                    rebuilt.append(model.neighbor_at(rebuilt[-1], k))
+                assert rebuilt == path, (label, case, path)
+
+
+class TestAnnotationProperties:
+    def test_random_paths_and_counts_roundtrip(self):
+        """Seeded sweep over path shapes, retx counts, thresholds, and
+        escape modes: serialize -> decode recovers path and counts (or a
+        bound containing the count when censored)."""
+        rng = random.Random(7)
+        for case in range(N_CASES):
+            num_nodes = rng.randrange(4, 64)
+            threshold = rng.choice([None, 1, 2, 4, 8])
+            escape_mode = rng.choice(["exact", "censored"])
+            codec = make_codec(
+                num_nodes=num_nodes,
+                aggregation_threshold=threshold,
+                escape_mode=escape_mode,
+            )
+            hop_count = rng.randrange(1, 11)
+            origin = rng.randrange(1, num_nodes)
+            middle = [rng.randrange(1, num_nodes) for _ in range(hop_count - 1)]
+            path = [origin] + middle + [0]
+            counts = [rng.randrange(0, 31) for _ in range(hop_count)]
+            ctx = (case, num_nodes, threshold, escape_mode, path, counts)
+
+            ann = annotate_path(codec, path, counts)
+            payload, bits = codec.serialize(ann)
+            assert bits == codec.wire_size_bits(ann), ctx
+            decoded = decode_annotation(payload, bits, codec, origin=origin, sink=0)
+            assert decoded.path == path, ctx
+            assert len(decoded.hops) == hop_count, ctx
+            for hop, count in zip(decoded.hops, counts):
+                if hop.exact:
+                    assert hop.retx_count == count, ctx
+                else:
+                    lo, hi = hop.retx_bounds
+                    assert lo <= count <= hi, ctx
+
+    def test_serialization_is_deterministic(self):
+        """The same annotation serializes to the same bytes every time —
+        a prerequisite for the cross-process determinism guarantee."""
+        rng = random.Random(11)
+        for case in range(20):
+            num_nodes = rng.randrange(4, 32)
+            codec_a = make_codec(num_nodes=num_nodes)
+            codec_b = make_codec(num_nodes=num_nodes)
+            hop_count = rng.randrange(1, 6)
+            path = (
+                [rng.randrange(1, num_nodes)]
+                + [rng.randrange(1, num_nodes) for _ in range(hop_count - 1)]
+                + [0]
+            )
+            counts = [rng.randrange(0, 31) for _ in range(hop_count)]
+            out_a = codec_a.serialize(annotate_path(codec_a, path, counts))
+            out_b = codec_b.serialize(annotate_path(codec_b, path, counts))
+            assert out_a == out_b, (case, path, counts)
+
+
+class TestResultPickleRoundTrip:
+    """Every result object the pool ships between processes must survive
+    pickling without losing a field."""
+
+    def test_comparison_row_pickle_roundtrip(self):
+        rows, _ = run_comparison(
+            line_scenario(4, duration=40.0),
+            [dophy_approach(), tree_ratio_approach()],
+            seed=3,
+        )
+        for name, row in rows.items():
+            clone = pickle.loads(pickle.dumps(row))
+            assert clone == row, name
+            assert clone.accuracy.per_link_errors == row.accuracy.per_link_errors
+
+    def test_approach_outcome_pickle_roundtrip(self):
+        scenario = line_scenario(
+            4, duration=40.0
+        )
+        spec = dophy_approach(
+            config=DophyConfig(dissemination_loss=0.2, model_update_period=15.0)
+        )
+        obs = spec.factory()
+        result = scenario.make_simulation(5, [obs]).run()
+        outcome = spec.extract(obs, result)
+        clone = pickle.loads(pickle.dumps(outcome))
+        assert clone.losses == outcome.losses
+        assert clone.support == outcome.support
+        assert clone.annotation_bits == outcome.annotation_bits
+        assert clone.annotation_hops == outcome.annotation_hops
+        assert clone.control_bits == outcome.control_bits
+        assert clone.failure_counts == outcome.failure_counts
+
+    def test_replicated_row_pickle_roundtrip(self):
+        table = run_replicated(
+            line_scenario(4, duration=40.0),
+            [dophy_approach()],
+            master_seed=5,
+            replicates=2,
+        )
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone == table
