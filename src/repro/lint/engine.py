@@ -1,0 +1,143 @@
+"""File walking, suppression handling and rule dispatch for reprolint.
+
+Suppressions are pragma comments, parsed from real COMMENT tokens (via
+:mod:`tokenize`) so the marker text inside a string literal never
+disables anything:
+
+* ``# reprolint: disable=RPL001`` — suppress the listed rule(s) on this
+  line (comma-separated; bare ``disable`` suppresses every rule);
+* ``# reprolint: disable-next-line=RPL002`` — same, for the following
+  line (chains: a stack of ``disable-next-line`` comments all apply to
+  the first non-comment line after them).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.lint.rules import ALL_RULES, SIM_PATH_SEGMENTS, LintContext
+from repro.lint.violation import Violation
+
+__all__ = ["LintError", "lint_source", "lint_file", "lint_paths", "iter_python_files"]
+
+_PRAGMA = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-next-line)?)\s*(?:=\s*(?P<rules>[A-Z0-9,\s]+))?"
+)
+
+#: Sentinel meaning "every rule" in a suppression set.
+_ALL = "*"
+
+
+class LintError(RuntimeError):
+    """A file could not be linted (I/O or syntax error)."""
+
+
+def _suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of suppressed rule ids (or ``{"*"}``)."""
+    out: Dict[int, Set[str]] = {}
+    pending: Set[str] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - parse
+        return out  # ast.parse will raise a proper error for the caller
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            match = _PRAGMA.search(tok.string)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            ids = (
+                {r.strip() for r in rules.split(",") if r.strip()}
+                if rules
+                else {_ALL}
+            )
+            if match.group("kind") == "disable-next-line":
+                pending |= ids
+            else:
+                out.setdefault(tok.start[0], set()).update(ids)
+        elif tok.type in (tokenize.NL, tokenize.NEWLINE, tokenize.INDENT,
+                          tokenize.DEDENT):
+            continue
+        elif pending:
+            # First code token after a disable-next-line stack.
+            out.setdefault(tok.start[0], set()).update(pending)
+            pending = set()
+    return out
+
+
+def default_sim_path(path: Union[str, Path]) -> bool:
+    """Is this file part of the simulation paths RPL002 protects?"""
+    return not SIM_PATH_SEGMENTS.isdisjoint(Path(path).parts)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    in_sim_path: Optional[bool] = None,
+) -> List[Violation]:
+    """Lint one module's source text; returns sorted violations.
+
+    ``in_sim_path`` defaults to a path-segment check (``core``, ``net``,
+    ``workloads`` or ``exec`` anywhere in the path).
+    """
+    if in_sim_path is None:
+        in_sim_path = default_sim_path(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: cannot parse: {exc.msg} (line {exc.lineno})") from exc
+    ctx = LintContext(path=path, in_sim_path=in_sim_path)
+    suppressed = _suppressions(source)
+    found: List[Violation] = []
+    for rule_cls in ALL_RULES:
+        for violation in rule_cls().check(tree, ctx):
+            rules_off = suppressed.get(violation.line, ())
+            if _ALL in rules_off or violation.rule in rules_off:
+                continue
+            found.append(violation)
+    return sorted(found)
+
+
+def lint_file(path: Union[str, Path], display: Optional[str] = None) -> List[Violation]:
+    """Lint one file (``display`` overrides the reported path)."""
+    p = Path(path)
+    try:
+        source = p.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"{p}: cannot read: {exc}") from exc
+    return lint_source(source, display or str(p))
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterable[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: Set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
+        elif p.is_file():
+            candidates = [p]
+        else:
+            raise LintError(f"{p}: no such file or directory")
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def lint_paths(paths: Sequence[Union[str, Path]]) -> Tuple[List[Violation], int]:
+    """Lint every ``.py`` under ``paths``; returns (violations, files seen)."""
+    violations: List[Violation] = []
+    count = 0
+    for file_path in iter_python_files(paths):
+        count += 1
+        violations.extend(lint_file(file_path))
+    return sorted(violations), count

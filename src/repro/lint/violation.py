@@ -1,0 +1,33 @@
+"""The one datatype every reprolint layer exchanges."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule breach at one source location.
+
+    Ordering is (path, line, col, rule) so reports and golden JSON files
+    are stable whatever order the rules emitted them in.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_json(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

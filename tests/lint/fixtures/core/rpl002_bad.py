@@ -1,0 +1,23 @@
+"""RPL002 positive fixture: host clocks/entropy in a sim path (core/)."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def tick() -> float:
+    return perf_counter()
+
+
+def label() -> str:
+    return f"{datetime.now()}-{uuid.uuid4()}"
+
+
+def salt() -> bytes:
+    return os.urandom(8)

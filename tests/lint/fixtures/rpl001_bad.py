@@ -1,0 +1,24 @@
+"""RPL001 positive fixture: global / unseeded RNG in every spelling."""
+
+import random
+
+import numpy as np
+from numpy.random import rand
+from random import randint
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def pick(items):
+    return items[randint(0, len(items) - 1)]
+
+
+def noise_matrix(n: int):
+    np.random.seed(0)
+    return rand(n, n)
+
+
+def fresh_stream():
+    return np.random.default_rng()

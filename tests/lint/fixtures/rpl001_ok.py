@@ -1,0 +1,16 @@
+"""RPL001 negative fixture: every draw comes from a threaded Generator."""
+
+import numpy as np
+
+
+def jitter(rng: np.random.Generator) -> float:
+    return float(rng.uniform(-1.0, 1.0))
+
+
+def seeded_stream(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def derived(seed: int) -> np.random.Generator:
+    seq = np.random.SeedSequence(entropy=seed)
+    return np.random.Generator(np.random.PCG64(seq))

@@ -1,0 +1,13 @@
+"""RPL002 negative fixture: the same clock calls OUTSIDE a sim path.
+
+Benches may time themselves; RPL002 only guards core/, net/,
+workloads/ and exec/.
+"""
+
+import time
+
+
+def timed(fn):
+    t0 = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - t0

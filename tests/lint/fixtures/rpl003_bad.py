@@ -1,0 +1,29 @@
+"""RPL003 positive fixture: unpicklable callables at the process boundary."""
+
+from functools import partial
+
+
+class Scenario:  # stand-in for repro.workloads.scenarios.Scenario
+    def __init__(self, name, topology_factory):
+        self.name = name
+        self.topology_factory = topology_factory
+
+
+def make_scenario():
+    return Scenario("bad", topology_factory=lambda seed: None)
+
+
+def make_plan(duration: float):
+    def local_plan(topology, seed):
+        return None
+
+    return Scenario("closure", local_plan)
+
+
+def curried():
+    return partial(lambda x: x, 1)
+
+
+SCENARIO_REGISTRY = {
+    "inline": lambda: Scenario("inline", None),
+}

@@ -1,0 +1,27 @@
+"""RPL003 negative fixture: module-level callables + partials only."""
+
+from functools import partial
+
+
+class Scenario:  # stand-in for repro.workloads.scenarios.Scenario
+    def __init__(self, name, topology_factory):
+        self.name = name
+        self.topology_factory = topology_factory
+
+
+def line_topology(num_nodes: int, seed: int):
+    return None
+
+
+def make_scenario(num_nodes: int) -> Scenario:
+    return Scenario("ok", topology_factory=partial(line_topology, num_nodes))
+
+
+SCENARIO_REGISTRY = {
+    "line": make_scenario,
+}
+
+
+def sort_key_lambdas_are_fine(items):
+    # Lambdas that never cross a process boundary are not flagged.
+    return sorted(items, key=lambda kv: kv[1])

@@ -1,0 +1,17 @@
+"""RPL004 positive fixture: set order frozen into ordered sequences."""
+
+
+def links_list(links: set):
+    return list({(0, 1), (1, 2)})
+
+
+def links_tuple(nodes):
+    return tuple(set(nodes))
+
+
+def describe(nodes):
+    return ",".join({str(n) for n in nodes})
+
+
+def squares(nodes):
+    return [n * n for n in set(nodes)]

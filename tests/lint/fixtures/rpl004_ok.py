@@ -1,0 +1,22 @@
+"""RPL004 negative fixture: sets are sorted before materialisation."""
+
+
+def links_list():
+    return sorted({(0, 1), (1, 2)})
+
+
+def links_tuple(nodes):
+    return tuple(sorted(set(nodes)))
+
+
+def describe(nodes):
+    return ",".join(sorted({str(n) for n in nodes}))
+
+
+def squares(nodes):
+    return [n * n for n in sorted(set(nodes))]
+
+
+def order_free(nodes):
+    # Order-insensitive reductions over sets are fine.
+    return sum(set(nodes)), max(set(nodes), default=0)

@@ -1,0 +1,20 @@
+"""RPL005 positive fixture: shared mutable defaults."""
+
+from dataclasses import dataclass, field
+
+
+def collect(value, bucket=[]):
+    bucket.append(value)
+    return bucket
+
+
+def tally(key, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+@dataclass(frozen=True)
+class FrozenSpec:
+    name: str = "spec"
+    weights: dict = field(default={})
+    tags: list = []

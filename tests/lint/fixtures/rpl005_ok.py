@@ -1,0 +1,17 @@
+"""RPL005 negative fixture: immutable defaults and default_factory."""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+def collect(value, bucket: Optional[list] = None):
+    out = [] if bucket is None else bucket
+    out.append(value)
+    return out
+
+
+@dataclass(frozen=True)
+class FrozenSpec:
+    name: str = "spec"
+    weights: dict = field(default_factory=dict)
+    bounds: tuple = (0.0, 1.0)

@@ -1,0 +1,28 @@
+"""Regenerate tests/lint/fixtures/golden.json after deliberate rule changes.
+
+Run from the repo root: ``PYTHONPATH=src python tests/lint/regen_golden.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint import lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def main() -> None:
+    violations = []
+    for path in sorted(FIXTURES.rglob("*.py")):
+        rel = path.relative_to(FIXTURES).as_posix()
+        violations.extend(v.as_json() for v in lint_file(path, display=rel))
+    violations.sort(key=lambda v: (v["path"], v["line"], v["col"], v["rule"]))
+    out = FIXTURES / "golden.json"
+    out.write_text(json.dumps({"violations": violations}, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(violations)} violations to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""The tree must satisfy its own determinism linter.
+
+This is the gate CI runs (`python -m repro.lint src benchmarks`): the
+simulator sources, the lint package itself, and the benches must all be
+violation-free (inline suppressions count as documented exemptions).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_is_violation_free():
+    violations, files_scanned = lint_paths([REPO_ROOT / "src"])
+    assert files_scanned > 50  # the whole package, not a stray subdir
+    assert violations == [], "\n" + "\n".join(v.render_text() for v in violations)
+
+
+def test_benchmarks_are_violation_free():
+    violations, files_scanned = lint_paths([REPO_ROOT / "benchmarks"])
+    assert files_scanned >= 20
+    assert violations == [], "\n" + "\n".join(v.render_text() for v in violations)
+
+
+def test_examples_are_violation_free():
+    violations, _ = lint_paths([REPO_ROOT / "examples"])
+    assert violations == [], "\n" + "\n".join(v.render_text() for v in violations)
