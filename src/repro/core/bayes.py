@@ -16,7 +16,6 @@ network-wide loss profile instead of toward an arbitrary constant.
 
 from __future__ import annotations
 
-import math
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -68,7 +67,7 @@ class BayesianLinkEstimator:
         prior_alpha: float = 1.0,
         prior_beta: float = 4.0,
         truncation_correction: bool = True,
-    ):
+    ) -> None:
         """Default prior Beta(1, 4): mean loss 20%, weakly informative."""
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
@@ -97,7 +96,7 @@ class BayesianLinkEstimator:
     def add_decoded(self, decoded: DecodedAnnotation, time: float = 0.0) -> None:
         for hop in decoded.hops:
             if hop.exact:
-                self.add_exact(hop.link, hop.retx_count)  # type: ignore[arg-type]
+                self.add_exact(hop.link, hop.exact_count())
             else:
                 lo, hi = hop.retx_bounds
                 self.add_censored(hop.link, lo, min(hi, self.max_attempts - 1))

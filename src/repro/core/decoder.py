@@ -70,7 +70,7 @@ class AnnotationDecodeError(Exception):
         cause: str = "corrupt_symbol",
         partial_hops: Sequence["DecodedHop"] = (),
         partial_path: Sequence[int] = (),
-    ):
+    ) -> None:
         super().__init__(message)
         if cause not in DECODE_FAILURE_CAUSES:
             raise ValueError(f"unknown decode-failure cause {cause!r}")
@@ -92,6 +92,13 @@ class DecodedHop:
     @property
     def exact(self) -> bool:
         return self.retx_count is not None
+
+    def exact_count(self) -> int:
+        """The exact count, raising on censored hops (narrows Optional
+        for type checkers; call only after checking :attr:`exact`)."""
+        if self.retx_count is None:
+            raise ValueError("hop is censored; only retx_bounds is known")
+        return self.retx_count
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,6 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 from scipy import optimize
 
 from repro.core.decoder import DecodedAnnotation, DecodedHop
@@ -83,7 +82,7 @@ class _LinkData:
 class PerLinkEstimator:
     """Accumulates per-link evidence and produces loss MLEs."""
 
-    def __init__(self, max_attempts: int, *, truncation_correction: bool = True):
+    def __init__(self, max_attempts: int, *, truncation_correction: bool = True) -> None:
         """``max_attempts`` = MAC retry cap + 1 (the truncation point A).
 
         ``truncation_correction=False`` drops the ``X <= A`` conditioning
@@ -130,7 +129,7 @@ class PerLinkEstimator:
         consistency-checked prefix salvaged from a failed decode)."""
         for hop in hops:
             if hop.exact:
-                self.add_exact(hop.link, hop.retx_count, time)  # type: ignore[arg-type]
+                self.add_exact(hop.link, hop.exact_count(), time)
             else:
                 lo, hi = hop.retx_bounds
                 self.add_censored(hop.link, lo, min(hi, self.max_attempts - 1), time)

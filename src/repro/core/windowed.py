@@ -46,7 +46,7 @@ class SlidingLinkEstimator:
         window: float,
         *,
         truncation_correction: bool = True,
-    ):
+    ) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         check_positive(window, "window")
@@ -84,7 +84,7 @@ class SlidingLinkEstimator:
         """Listener-compatible hook: feed every hop of one annotation."""
         for hop in decoded.hops:
             if hop.exact:
-                self.add_exact(hop.link, hop.retx_count, time)  # type: ignore[arg-type]
+                self.add_exact(hop.link, hop.exact_count(), time)
             else:
                 lo, hi = hop.retx_bounds
                 self.add_censored(
