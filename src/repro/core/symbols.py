@@ -40,7 +40,7 @@ class SymbolSet:
         self,
         max_count: int,
         aggregation_threshold: Optional[int] = None,
-    ):
+    ) -> None:
         if max_count < 0:
             raise ValueError("max_count must be >= 0")
         if aggregation_threshold is not None:
@@ -91,10 +91,11 @@ class SymbolSet:
         """Invert :meth:`to_symbol`. ``escape_extra`` required for the escape."""
         if not 0 <= symbol < self.num_symbols:
             raise ValueError(f"symbol {symbol} out of range [0, {self.num_symbols})")
-        if self.is_escape(symbol):
+        k = self.aggregation_threshold
+        if k is not None and symbol == k:
             if escape_extra is None:
                 raise ValueError("escape symbol requires escape_extra")
-            count = self.aggregation_threshold + escape_extra  # type: ignore[operator]
+            count = k + escape_extra
             if count > self.max_count:
                 raise ValueError(
                     f"escape extra {escape_extra} exceeds max_count {self.max_count}"
@@ -108,8 +109,9 @@ class SymbolSet:
         """Inclusive range of counts a symbol stands for (censored-mode support)."""
         if not 0 <= symbol < self.num_symbols:
             raise ValueError(f"symbol {symbol} out of range [0, {self.num_symbols})")
-        if self.is_escape(symbol):
-            return (self.aggregation_threshold, self.max_count)  # type: ignore[return-value]
+        k = self.aggregation_threshold
+        if k is not None and symbol == k:
+            return (k, self.max_count)
         return (symbol, symbol)
 
     def __eq__(self, other: object) -> bool:
