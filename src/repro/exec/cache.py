@@ -34,7 +34,7 @@ __all__ = ["ResultCache"]
 class ResultCache:
     """Content-addressed pickle store keyed by task description + code version."""
 
-    def __init__(self, cache_dir: "str | os.PathLike[str]"):
+    def __init__(self, cache_dir: "str | os.PathLike[str]") -> None:
         self.root = Path(cache_dir)
         self.root.mkdir(parents=True, exist_ok=True)
 
