@@ -11,7 +11,7 @@ and overhead relative to a typical data payload.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Protocol, Sequence
+from typing import List, Protocol, Sequence
 
 __all__ = ["OverheadSummary", "summarize_overhead"]
 

@@ -9,7 +9,7 @@ within a single run, rather than across runs of different lengths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.metrics import compare_estimates

@@ -78,7 +78,7 @@ class FixedWidthCode(IntegerCode):
     its symbol aggregation.
     """
 
-    def __init__(self, width: int):
+    def __init__(self, width: int) -> None:
         if width <= 0:
             raise ValueError("width must be > 0")
         self.width = width
@@ -180,7 +180,7 @@ class GolombRiceCode(IntegerCode):
     retransmission counts, which *are* geometric per link.
     """
 
-    def __init__(self, k: int):
+    def __init__(self, k: int) -> None:
         if k < 0:
             raise ValueError("k must be >= 0")
         self.k = k

@@ -19,7 +19,7 @@ per-packet-adaptive against Dophy's periodic static models.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 __all__ = ["FrequencyTable", "AdaptiveFrequencyTable"]
 
@@ -32,7 +32,7 @@ class FrequencyTable:
     smoothing the estimated distribution (see ``from_probabilities``).
     """
 
-    def __init__(self, frequencies: Sequence[int]):
+    def __init__(self, frequencies: Sequence[int]) -> None:
         freqs = [int(f) for f in frequencies]
         if not freqs:
             raise ValueError("frequency table must contain at least one symbol")
@@ -194,7 +194,7 @@ class AdaptiveFrequencyTable:
     ablation and for single-stream compression uses.
     """
 
-    def __init__(self, num_symbols: int, *, increment: int = 32, max_total: int = 1 << 24):
+    def __init__(self, num_symbols: int, *, increment: int = 32, max_total: int = 1 << 24) -> None:
         if num_symbols <= 0:
             raise ValueError("num_symbols must be > 0")
         if increment <= 0:

@@ -47,7 +47,7 @@ def _code_lengths(freqs: Sequence[int]) -> List[int]:
 class HuffmanCode:
     """Canonical Huffman encoder/decoder for symbols ``0..n-1``."""
 
-    def __init__(self, table: FrequencyTable):
+    def __init__(self, table: FrequencyTable) -> None:
         self.table = table
         self.lengths = _code_lengths([table.frequency(s) for s in range(table.num_symbols)])
         # Canonical assignment: sort by (length, symbol).

@@ -75,7 +75,7 @@ class AnnotationCodec:
         model_manager: ModelManager,
         num_nodes: int,
         path_model: "PathRankModel | None" = None,
-    ):
+    ) -> None:
         self.config = config
         self.models = model_manager
         self.num_nodes = num_nodes

@@ -19,7 +19,7 @@ K when traffic is light or counts concentrate near zero.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.coding.baseline_codes import EliasGammaCode
 

@@ -31,13 +31,14 @@ it passes a topology path-consistency check.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.annotation import AnnotationCodec, DophyAnnotation
 from repro.core.config import DophyConfig
 from repro.core.decoder import (
     DECODE_FAILURE_CAUSES,
     AnnotationDecodeError,
+    DecodedAnnotation,
     decode_annotation,
 )
 from repro.core.estimator import LinkEstimate, PerLinkEstimator
@@ -48,7 +49,10 @@ from repro.net.faults import FaultPlan
 from repro.net.packet import Packet
 from repro.net.simulation import CollectionSimulation, NullObserver
 
-__all__ = ["DophySystem", "DophyReport"]
+__all__ = ["DophySystem", "DophyReport", "DecodeListener"]
+
+#: Callback invoked for every decoded annotation: ``fn(decoded, sim_time)``.
+DecodeListener = Callable[[DecodedAnnotation, float], None]
 
 
 @dataclass
@@ -117,7 +121,7 @@ class DophySystem(NullObserver):
         config: Optional[DophyConfig] = None,
         *,
         faults: Optional[FaultPlan] = None,
-    ):
+    ) -> None:
         self.config = config or DophyConfig()
         self._faults = faults
         # Populated on attach (needs topology/MAC facts).
@@ -148,9 +152,9 @@ class DophySystem(NullObserver):
         self._attached = False
         #: Callbacks fn(decoded, time) invoked for every decoded annotation —
         #: e.g. a SlidingLinkEstimator's add_decoded for drift tracking.
-        self._decode_listeners: List = []
+        self._decode_listeners: List[DecodeListener] = []
 
-    def add_decode_listener(self, listener) -> None:
+    def add_decode_listener(self, listener: "DecodeListener") -> None:
         """Register ``fn(decoded: DecodedAnnotation, time: float)``."""
         if not callable(listener):
             raise TypeError("listener must be callable")

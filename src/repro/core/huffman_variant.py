@@ -72,7 +72,7 @@ class _Inflight:
 class HuffmanDophyVariant(NullObserver):
     """Dophy's pipeline with canonical Huffman instead of arithmetic coding."""
 
-    def __init__(self, config: Optional[DophyConfig] = None):
+    def __init__(self, config: Optional[DophyConfig] = None) -> None:
         self.config = config or DophyConfig()
         if self.config.path_encoding == "compressed":
             raise ValueError(

@@ -90,7 +90,7 @@ class ModelManager:
         num_classes: int = 1,
         activation_delay: float = 0.0,
         auto_aggregation: bool = False,
-    ):
+    ) -> None:
         """``update_period=None`` disables updates (the static-model ablation).
 
         ``estimation_window`` limits re-estimation to symbols decoded in the

@@ -34,7 +34,7 @@ class PathRankModel:
     """Canonical neighbor rankings plus a shared rank-symbol model."""
 
     def __init__(self, topology: Topology, *, rank_decay: float = 0.35,
-                 precision: int = 4096):
+                 precision: int = 4096) -> None:
         """``rank_decay`` is the geometric prior's ratio: P(rank k) ∝ decay^k.
 
         A small decay says "almost always the best sinkward neighbor".

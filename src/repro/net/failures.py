@@ -11,7 +11,7 @@ genuine topology churn that invalidates classical tomography's snapshots.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import Iterable, List, Set, Tuple
 
 import numpy as np
 

@@ -26,8 +26,8 @@ Fault kinds:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Sequence, Tuple
 
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_probability

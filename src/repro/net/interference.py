@@ -15,7 +15,7 @@ the spatial analogue of the F9 burstiness experiment.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
