@@ -56,12 +56,10 @@ def _point(cap):
             np.mean([abs(losses[l] - truth[l]) for l in common])
         ) if common else float("nan")
 
+    # Each estimates() call is one batched solve across the chain's links.
     full_losses = {l: e.loss for l, e in full.estimates().items()}
     nt_losses = {l: e.loss for l, e in no_trunc.estimates().items()}
-    naive_losses = {
-        l: v for l in full.links()
-        if (v := full.naive_estimate(l)) is not None
-    }
+    naive_losses = full.naive_estimates()
     return (
         result.delivery_ratio,
         mae(naive_losses),

@@ -1,0 +1,142 @@
+"""Performance microbenchmarks: the batched MLE solver and incremental windows.
+
+Times the two estimator fast paths this repo ships against their naive
+counterparts, on the same evidence:
+
+* ``PerLinkEstimator.estimates()`` (one vectorized batch solve) vs the
+  retired per-link scipy solve (kept as ``estimate_scipy``);
+* ``SlidingLinkEstimator.timeline()`` (incremental window slide) vs a
+  from-scratch estimator rebuild at every query point.
+
+Results go to ``benchmarks/results/BENCH_estimator.json`` so the perf
+trajectory accumulates across PRs. The agreement check always runs; the
+speedup floors are opt-in (``REPRO_PERF=1``) because single-core CI
+containers make wall-clock ratios unreliable.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core.estimator import PerLinkEstimator
+from repro.core.windowed import SlidingLinkEstimator
+
+from _common import RESULTS_DIR, run_once
+
+N_LINKS = 500
+MAX_ATTEMPTS = 8
+SAMPLES_PER_LINK = 60
+ESCAPE_AT = 3  # counts >= this arrive censored as [ESCAPE_AT, A-1]
+
+SLIDING_OBS = 40_000
+SLIDING_WINDOW = 200.0  # ~4k observations in flight per window
+SLIDING_QUERIES = 100
+
+
+def _corpus_estimator(rng):
+    """500 links of mixed exact/censored evidence, Dophy escape style."""
+    est = PerLinkEstimator(MAX_ATTEMPTS)
+    for i in range(N_LINKS):
+        link = (i + 1, 0)
+        loss = float(rng.uniform(0.05, 0.75))
+        attempts = np.minimum(
+            rng.geometric(1.0 - loss, size=SAMPLES_PER_LINK), MAX_ATTEMPTS
+        )
+        for a in attempts:
+            c = int(a) - 1
+            if c >= ESCAPE_AT:
+                est.add_censored(link, ESCAPE_AT, MAX_ATTEMPTS - 1)
+            else:
+                est.add_exact(link, c)
+    return est
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _run():
+    rng = np.random.default_rng(42)
+    est = _corpus_estimator(rng)
+
+    batched = est.estimates()
+    batched_s = _best_of(est.estimates, repeats=5)
+    scipy_s = _best_of(
+        lambda: {link: est.estimate_scipy(link) for link in est.links()},
+        repeats=1,
+    )
+    worst = max(
+        abs(batched[link].loss - est.estimate_scipy(link).loss)
+        for link in est.links()
+    )
+
+    # Incremental window slide vs a from-scratch rebuild per query point.
+    link = (1, 0)
+    sliding = SlidingLinkEstimator(max_attempts=MAX_ATTEMPTS, window=SLIDING_WINDOW)
+    events = []
+    t = 0.0
+    for _ in range(SLIDING_OBS):
+        t += float(rng.exponential(0.05))
+        c = int(min(rng.geometric(0.7), MAX_ATTEMPTS)) - 1
+        events.append((t, c))
+        sliding.add_exact(link, c, t)
+    queries = [float(q) for q in np.linspace(0.0, t, SLIDING_QUERIES)]
+
+    def rebuild_timeline():
+        out = []
+        for now in queries:
+            ref = PerLinkEstimator(MAX_ATTEMPTS)
+            for et, ec in events:
+                if now - SLIDING_WINDOW < et <= now:
+                    ref.add_exact(link, ec)
+            e = ref.estimate(link)
+            out.append((now, e.loss if e is not None else None))
+        return out
+
+    incr_s = _best_of(lambda: sliding.timeline(link, queries), repeats=3)
+    rebuild_s = _best_of(rebuild_timeline, repeats=1)
+    assert sliding.timeline(link, queries) == rebuild_timeline()
+
+    return {
+        "batch": {
+            "n_links": N_LINKS,
+            "samples_per_link": SAMPLES_PER_LINK,
+            "max_attempts": MAX_ATTEMPTS,
+            "batched_estimates_s": batched_s,
+            "scipy_loop_s": scipy_s,
+            "speedup": scipy_s / batched_s,
+            "max_abs_disagreement": worst,
+        },
+        "sliding": {
+            "n_observations": SLIDING_OBS,
+            "n_queries": SLIDING_QUERIES,
+            "window_s": SLIDING_WINDOW,
+            "incremental_timeline_s": incr_s,
+            "rebuild_timeline_s": rebuild_s,
+            "speedup": rebuild_s / incr_s,
+        },
+    }
+
+
+def test_perf_estimator(benchmark):
+    report = run_once(benchmark, _run)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_estimator.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\n{json.dumps(report, indent=2)}\n[written to {out}]")
+
+    # Correctness always: the batched solver is the scipy MLE.
+    assert report["batch"]["max_abs_disagreement"] < 1e-6
+
+    if os.environ.get("REPRO_PERF") == "1":
+        # Acceptance floors (run on idle multi-core hardware).
+        assert report["batch"]["speedup"] >= 5.0, report["batch"]
+        assert report["sliding"]["speedup"] >= 5.0, report["sliding"]

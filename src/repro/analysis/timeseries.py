@@ -21,6 +21,8 @@ __all__ = ["EvaluationPoint", "PeriodicEvaluator"]
 Link = Tuple[int, int]
 #: Supplies {link: loss} estimates on demand (e.g. lambda: dophy-derived map).
 EstimateSource = Callable[[], Dict[Link, float]]
+#: Time-aware variant: receives the evaluation time (sliding windows).
+TimedEstimateSource = Callable[[float], Dict[Link, float]]
 
 
 @dataclass(frozen=True)
@@ -46,6 +48,8 @@ class PeriodicEvaluator(NullObserver):
         self.min_support = min_support
         self._sources: Dict[str, EstimateSource] = {}
         self._supports: Dict[str, Optional[Callable[[], Dict[Link, int]]]] = {}
+        self._timed_sources: Dict[str, TimedEstimateSource] = {}
+        self._timed_supports: Dict[str, Optional[Callable[[float], Dict[Link, int]]]] = {}
         self._simulation: Optional[CollectionSimulation] = None
         self.history: List[EvaluationPoint] = []
 
@@ -60,10 +64,23 @@ class PeriodicEvaluator(NullObserver):
         ``support`` optionally provides per-link sample counts for
         ``min_support`` filtering.
         """
-        if name in self._sources:
+        if name in self._sources or name in self._timed_sources:
             raise ValueError(f"source {name!r} already registered")
         self._sources[name] = source
         self._supports[name] = support
+
+    def add_timed_source(
+        self,
+        name: str,
+        source: TimedEstimateSource,
+        support: Optional[Callable[[float], Dict[Link, int]]] = None,
+    ) -> None:
+        """Register an estimate provider that depends on the evaluation
+        time (a sliding-window estimator's "loss around now")."""
+        if name in self._sources or name in self._timed_sources:
+            raise ValueError(f"source {name!r} already registered")
+        self._timed_sources[name] = source
+        self._timed_supports[name] = support
 
     def add_dophy(self, name: str, dophy) -> None:
         """Convenience: register a :class:`DophySystem`'s live estimates."""
@@ -71,6 +88,16 @@ class PeriodicEvaluator(NullObserver):
             name,
             lambda: {l: e.loss for l, e in dophy.estimator.estimates().items()},
             lambda: {l: dophy.estimator.n_samples(l) for l in dophy.estimator.links()},
+        )
+
+    def add_sliding(self, name: str, sliding) -> None:
+        """Convenience: register a :class:`SlidingLinkEstimator`'s windowed
+        estimates; each tick scores the trailing window ending at that tick
+        (one batched solve across links)."""
+        self.add_timed_source(
+            name,
+            lambda now: {l: e.loss for l, e in sliding.estimates(now).items()},
+            lambda now: {l: sliding.n_samples(l, now) for l in sliding.links()},
         )
 
     # -- simulation wiring ------------------------------------------------------
@@ -84,15 +111,20 @@ class PeriodicEvaluator(NullObserver):
         assert sim is not None
         now = sim.sim.now
         truth = sim.ground_truth.true_loss_map(kind=self.truth_kind)
+        scored: List[Tuple[str, Dict[Link, float], Optional[Dict[Link, int]]]] = []
         for name, source in self._sources.items():
-            estimates = source()
             support_fn = self._supports[name]
+            scored.append((name, source(), support_fn() if support_fn else None))
+        for name, timed in self._timed_sources.items():
+            timed_support = self._timed_supports[name]
+            scored.append((name, timed(now), timed_support(now) if timed_support else None))
+        for name, estimates, support in scored:
             report = compare_estimates(
                 estimates,
                 truth,
                 method=name,
                 min_support=self.min_support,
-                support=support_fn() if support_fn else None,
+                support=support,
             )
             self.history.append(
                 EvaluationPoint(
@@ -112,7 +144,7 @@ class PeriodicEvaluator(NullObserver):
         return [(p.time, p.mae) for p in self.history if p.method == method]
 
     def methods(self) -> List[str]:
-        return sorted(self._sources.keys())
+        return sorted(list(self._sources) + list(self._timed_sources))
 
     def final_point(self, method: str) -> Optional[EvaluationPoint]:
         points = [p for p in self.history if p.method == method]

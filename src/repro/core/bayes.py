@@ -94,12 +94,20 @@ class BayesianLinkEstimator:
         self._evidence[link].censored.append((retx_lo, retx_hi))
 
     def add_decoded(self, decoded: DecodedAnnotation, time: float = 0.0) -> None:
+        """Feed every hop of a decoded annotation.
+
+        Censored bounds are clamped into range (matching
+        :meth:`PerLinkEstimator.add_hops`) so one out-of-range hop cannot
+        raise mid-feed and drop the rest of the annotation's hops.
+        """
         for hop in decoded.hops:
             if hop.exact:
                 self.add_exact(hop.link, hop.exact_count())
             else:
                 lo, hi = hop.retx_bounds
-                self.add_censored(hop.link, lo, min(hi, self.max_attempts - 1))
+                hi = max(0, min(hi, self.max_attempts - 1))
+                lo = max(0, min(lo, hi))
+                self.add_censored(hop.link, lo, hi)
 
     # -- posterior ----------------------------------------------------------------
 

@@ -8,6 +8,15 @@ observations in a trailing window — turning Dophy's per-packet evidence
 into a link-quality *time series* (fine-grained in time as well as in
 space).
 
+Queries are incremental: each link maintains the sufficient statistics
+of the current window (see :class:`~repro.core.estimator.SuffStats`) and
+slides them as ``now`` advances — newly covered observations are added,
+expired ones subtracted — so :meth:`estimate` and :meth:`timeline` cost
+O(observations slid over), not O(window size) per query, and never
+rebuild a :class:`~repro.core.estimator.PerLinkEstimator`. Backward
+queries (a ``now`` earlier than the previous query) and :meth:`prune`
+fall back to recomputing the window aggregate from the sorted log.
+
 Attach it to a running :class:`~repro.core.dophy.DophySystem` via
 ``dophy.add_decode_listener(sliding.add_decoded)``.
 """
@@ -15,12 +24,11 @@ Attach it to a running :class:`~repro.core.dophy.DophySystem` via
 from __future__ import annotations
 
 import bisect
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.decoder import DecodedAnnotation
-from repro.core.estimator import LinkEstimate, PerLinkEstimator
+from repro.core.estimator import LinkEstimate, SuffStats, solve_batch
 from repro.utils.validation import check_positive
 
 __all__ = ["SlidingLinkEstimator"]
@@ -35,6 +43,60 @@ class _TimedObservation:
     retx: Optional[int]
     #: (lo, hi) inclusive retransmission bounds when censored.
     bounds: Optional[Tuple[int, int]]
+
+
+class _WindowState:
+    """One link's deque-style window over its observation log.
+
+    ``[start, end)`` indexes the observations inside the last queried
+    window; the aggregate fields are their sufficient statistics,
+    maintained by adding arrivals and subtracting expiries as the window
+    slides forward. ``dirty`` forces a from-scratch rebuild (set on
+    pruning; backward queries are detected via ``last_now``).
+    """
+
+    __slots__ = ("start", "end", "n_exact", "sum_retx", "censored", "last_now", "dirty")
+
+    def __init__(self) -> None:
+        self.start = 0
+        self.end = 0
+        self.n_exact = 0
+        self.sum_retx = 0
+        #: Attempt-space (lo, hi) censored interval -> count in window.
+        self.censored: Dict[Tuple[int, int], int] = {}
+        self.last_now = -float("inf")
+        self.dirty = False
+
+    def clear(self) -> None:
+        self.n_exact = 0
+        self.sum_retx = 0
+        self.censored.clear()
+
+    def add(self, obs: _TimedObservation) -> None:
+        if obs.retx is not None:
+            self.n_exact += 1
+            self.sum_retx += obs.retx
+        else:
+            assert obs.bounds is not None
+            key = (obs.bounds[0] + 1, obs.bounds[1] + 1)
+            self.censored[key] = self.censored.get(key, 0) + 1
+
+    def remove(self, obs: _TimedObservation) -> None:
+        if obs.retx is not None:
+            self.n_exact -= 1
+            self.sum_retx -= obs.retx
+        else:
+            assert obs.bounds is not None
+            key = (obs.bounds[0] + 1, obs.bounds[1] + 1)
+            left = self.censored[key] - 1
+            if left:
+                self.censored[key] = left
+            else:
+                del self.censored[key]
+
+    @property
+    def n_samples(self) -> int:
+        return self.n_exact + sum(self.censored.values())
 
 
 class SlidingLinkEstimator:
@@ -53,22 +115,43 @@ class SlidingLinkEstimator:
         self.max_attempts = max_attempts
         self.window = window
         self.truncation_correction = truncation_correction
-        self._times: Dict[Link, List[float]] = defaultdict(list)
-        self._obs: Dict[Link, List[_TimedObservation]] = defaultdict(list)
+        self._times: Dict[Link, List[float]] = {}
+        self._obs: Dict[Link, List[_TimedObservation]] = {}
+        self._state: Dict[Link, _WindowState] = {}
 
     # -- feeding ---------------------------------------------------------------------
 
     def _append(self, link: Link, obs: _TimedObservation) -> None:
-        times = self._times[link]
+        times = self._times.get(link)
+        if times is None:
+            times = self._times[link] = []
+            self._obs[link] = []
+            self._state[link] = _WindowState()
+        obs_list = self._obs[link]
         if times and obs.time < times[-1]:
             # Out-of-order arrival (possible with in-flight reordering):
-            # insert at the right position to keep bisect valid.
+            # insert at the right position to keep bisect valid, and fix
+            # up the window indices around the insertion point.
             idx = bisect.bisect_right(times, obs.time)
             times.insert(idx, obs.time)
-            self._obs[link].insert(idx, obs)
+            obs_list.insert(idx, obs)
+            state = self._state[link]
+            if idx < state.start:
+                state.start += 1
+                state.end += 1
+            elif idx < state.end:
+                if obs.time > state.last_now - self.window:
+                    # Lands inside the current window span: include it.
+                    state.add(obs)
+                    state.end += 1
+                else:
+                    # At/before the cutoff (only possible at idx == start):
+                    # the span shifts right without gaining the sample.
+                    state.start += 1
+                    state.end += 1
         else:
             times.append(obs.time)
-            self._obs[link].append(obs)
+            obs_list.append(obs)
 
     def add_exact(self, link: Link, retx_count: int, time: float) -> None:
         if not 0 <= retx_count <= self.max_attempts - 1:
@@ -78,18 +161,62 @@ class SlidingLinkEstimator:
     def add_censored(
         self, link: Link, retx_lo: int, retx_hi: int, time: float
     ) -> None:
+        if not 0 <= retx_lo <= retx_hi <= self.max_attempts - 1:
+            raise ValueError(f"censored bounds [{retx_lo}, {retx_hi}] invalid")
         self._append(link, _TimedObservation(time, None, (retx_lo, retx_hi)))
 
     def add_decoded(self, decoded: DecodedAnnotation, time: float) -> None:
-        """Listener-compatible hook: feed every hop of one annotation."""
+        """Listener-compatible hook: feed every hop of one annotation.
+
+        Censored bounds are clamped into range (matching
+        :meth:`PerLinkEstimator.add_hops`) so one out-of-range hop cannot
+        raise mid-feed and drop the rest of the annotation's hops.
+        """
         for hop in decoded.hops:
             if hop.exact:
                 self.add_exact(hop.link, hop.exact_count(), time)
             else:
                 lo, hi = hop.retx_bounds
-                self.add_censored(
-                    hop.link, lo, min(hi, self.max_attempts - 1), time
-                )
+                hi = max(0, min(hi, self.max_attempts - 1))
+                lo = max(0, min(lo, hi))
+                self.add_censored(hop.link, lo, hi, time)
+
+    # -- window maintenance ------------------------------------------------------------
+
+    def _slide(self, link: Link, now: float) -> Optional[_WindowState]:
+        """Bring ``link``'s window state to (now - window, now]."""
+        times = self._times.get(link)
+        if not times:
+            return None
+        state = self._state[link]
+        obs = self._obs[link]
+        cutoff = now - self.window
+        if state.dirty or now < state.last_now:
+            state.start = bisect.bisect_right(times, cutoff)
+            state.end = bisect.bisect_right(times, now)
+            state.clear()
+            for i in range(state.start, state.end):
+                state.add(obs[i])
+            state.dirty = False
+        else:
+            end = state.end
+            while end < len(times) and times[end] <= now:
+                state.add(obs[end])
+                end += 1
+            state.end = end
+            start = state.start
+            while start < end and times[start] <= cutoff:
+                state.remove(obs[start])
+                start += 1
+            state.start = start
+        state.last_now = now
+        return state
+
+    def _window_suff(self, link: Link, now: float) -> Optional[SuffStats]:
+        state = self._slide(link, now)
+        if state is None or state.n_samples == 0:
+            return None
+        return SuffStats(link, state.n_exact, state.sum_retx, dict(state.censored))
 
     # -- queries ----------------------------------------------------------------------
 
@@ -104,39 +231,39 @@ class SlidingLinkEstimator:
 
     def estimate(self, link: Link, now: float) -> Optional[LinkEstimate]:
         """MLE over the trailing window ending at ``now``."""
-        times = self._times.get(link)
-        if not times:
+        suff = self._window_suff(link, now)
+        if suff is None:
             return None
-        lo = bisect.bisect_right(times, now - self.window)
-        hi = bisect.bisect_right(times, now)
-        if lo == hi:
-            return None
-        batch = PerLinkEstimator(
-            self.max_attempts, truncation_correction=self.truncation_correction
-        )
-        for obs in self._obs[link][lo:hi]:
-            if obs.retx is not None:
-                batch.add_exact(link, obs.retx, 0.0)
-            else:
-                assert obs.bounds is not None
-                batch.add_censored(link, obs.bounds[0], obs.bounds[1], 0.0)
-        return batch.estimate(link)
+        return solve_batch(
+            [suff],
+            self.max_attempts,
+            truncation_correction=self.truncation_correction,
+        )[0]
 
     def estimates(self, now: float) -> Dict[Link, LinkEstimate]:
-        """Window estimates for every link with current evidence."""
-        out: Dict[Link, LinkEstimate] = {}
-        for link in self._times:
-            est = self.estimate(link, now)
-            if est is not None:
-                out[link] = est
-        return out
+        """Window estimates for every link with current evidence —
+        one vectorized batch solve across all links."""
+        links = self.links()
+        stats = [self._window_suff(link, now) for link in links]
+        present = [s for s in stats if s is not None]
+        results = solve_batch(
+            present,
+            self.max_attempts,
+            truncation_correction=self.truncation_correction,
+        )
+        return {est.link: est for est in results if est is not None}
 
     def timeline(
         self, link: Link, times: Sequence[float]
     ) -> List[Tuple[float, Optional[float]]]:
         """(time, windowed loss estimate) at each requested time — the
-        link-quality time series a network manager would plot."""
-        out = []
+        link-quality time series a network manager would plot.
+
+        For ascending ``times`` (the common case) the window slides
+        incrementally across the whole sweep: total cost is one pass
+        over the link's observations plus one solve per query point.
+        """
+        out: List[Tuple[float, Optional[float]]] = []
         for t in times:
             est = self.estimate(link, t)
             out.append((t, est.loss if est is not None else None))
@@ -152,9 +279,14 @@ class SlidingLinkEstimator:
                 del times[:cut]
                 del self._obs[link][:cut]
                 removed += cut
+                state = self._state[link]
+                state.start = max(0, state.start - cut)
+                state.end = max(0, state.end - cut)
+                state.dirty = True
             if not times:
                 del self._times[link]
                 del self._obs[link]
+                del self._state[link]
         return removed
 
     def links(self) -> List[Link]:

@@ -19,6 +19,8 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.config import DophyConfig
 from repro.net.packet import Packet
 from repro.net.simulation import CollectionSimulation, NullObserver
@@ -28,6 +30,7 @@ __all__ = [
     "TomographyResult",
     "EndToEndObserver",
     "hop_success_to_frame_loss",
+    "hop_success_to_frame_loss_array",
 ]
 
 
@@ -41,6 +44,16 @@ def hop_success_to_frame_loss(hop_success: float, max_attempts: int) -> float:
     if max_attempts < 1:
         raise ValueError("max_attempts must be >= 1")
     s = min(1.0, max(0.0, hop_success))
+    return (1.0 - s) ** (1.0 / max_attempts)
+
+
+def hop_success_to_frame_loss_array(
+    hop_success: "np.ndarray", max_attempts: int
+) -> "np.ndarray":
+    """Vectorized :func:`hop_success_to_frame_loss` over a success vector."""
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be >= 1")
+    s = np.clip(hop_success, 0.0, 1.0)
     return (1.0 - s) ** (1.0 / max_attempts)
 
 
@@ -77,16 +90,22 @@ class TomographyResult:
 class _OriginStats:
     generated: int = 0
     delivered: int = 0
+    dropped: int = 0
 
     @property
     def resolved(self) -> int:
-        return self.generated  # see note in on_packet_created
+        """Packets whose fate is known: delivered or dropped.
+
+        Packets still in flight (pending) are excluded — counting them
+        as resolved would bias mid-run delivery ratios low.
+        """
+        return self.delivered + self.dropped
 
     @property
     def delivery_ratio(self) -> Optional[float]:
-        if self.generated == 0:
+        if self.resolved == 0:
             return None
-        return self.delivered / self.generated
+        return self.delivered / self.resolved
 
 
 class EndToEndObserver(NullObserver):
@@ -168,6 +187,7 @@ class EndToEndObserver(NullObserver):
         if entry is None:
             return
         origin, links, window = entry
+        self._stats[origin].dropped += 1
         self._packet_obs.append((origin, links, False, window))
 
     def control_overhead_bits(self) -> int:

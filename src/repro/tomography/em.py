@@ -26,7 +26,7 @@ from repro.tomography.base import (
     EndToEndObserver,
     PathSnapshotPolicy,
     TomographyResult,
-    hop_success_to_frame_loss,
+    hop_success_to_frame_loss_array,
 )
 
 __all__ = ["EMTomography"]
@@ -105,10 +105,8 @@ class EMTomography(EndToEndObserver):
                 converged = True
                 break
             s = new_s
-        losses = {
-            link: hop_success_to_frame_loss(float(s[idx]), self.max_attempts)
-            for link, idx in link_index.items()
-        }
+        frame_loss = hop_success_to_frame_loss_array(s, self.max_attempts)
+        losses = {link: float(frame_loss[idx]) for link, idx in link_index.items()}
         return TomographyResult(
             losses=losses,
             support=dict(support),

@@ -26,7 +26,7 @@ from repro.tomography.base import (
     EndToEndObserver,
     PathSnapshotPolicy,
     TomographyResult,
-    hop_success_to_frame_loss,
+    hop_success_to_frame_loss_array,
 )
 
 __all__ = ["LinearTomography"]
@@ -92,10 +92,10 @@ class LinearTomography(EndToEndObserver):
         # Rank check: links that appear in no independent equation are
         # unidentifiable; NNLS still returns a value — flag via converged.
         converged = bool(np.linalg.matrix_rank(A) == k)
-        losses: Dict[Tuple[int, int], float] = {}
-        for link, idx in link_index.items():
-            hop_success = math.exp(-float(x[idx]))
-            losses[link] = hop_success_to_frame_loss(hop_success, self.max_attempts)
+        frame_loss = hop_success_to_frame_loss_array(np.exp(-x), self.max_attempts)
+        losses: Dict[Tuple[int, int], float] = {
+            link: float(frame_loss[idx]) for link, idx in link_index.items()
+        }
         return TomographyResult(
             losses=losses,
             support=dict(support),

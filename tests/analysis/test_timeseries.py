@@ -5,6 +5,7 @@ import pytest
 from repro.analysis.timeseries import PeriodicEvaluator
 from repro.core.config import DophyConfig
 from repro.core.dophy import DophySystem
+from repro.core.windowed import SlidingLinkEstimator
 from repro.net.link import uniform_loss_assigner
 from repro.net.routing import RoutingConfig
 from repro.net.simulation import CollectionSimulation, SimulationConfig
@@ -79,6 +80,42 @@ class TestPeriodicEvaluator:
         evaluator.add_source("a", dict)
         with pytest.raises(ValueError):
             evaluator.add_source("a", dict)
+
+    def test_duplicate_name_rejected_across_source_kinds(self):
+        evaluator = PeriodicEvaluator(10.0)
+        evaluator.add_timed_source("a", lambda now: {})
+        with pytest.raises(ValueError):
+            evaluator.add_source("a", dict)
+        with pytest.raises(ValueError):
+            evaluator.add_timed_source("a", lambda now: {})
+
+    def test_sliding_source_scored_per_tick(self):
+        """add_sliding wires a windowed estimator in: each tick is scored
+        with the window ending at that tick."""
+        dophy = DophySystem(DophyConfig())
+        sliding = SlidingLinkEstimator(max_attempts=31, window=60.0)
+        dophy.add_decode_listener(sliding.add_decoded)
+        evaluator = PeriodicEvaluator(20.0)
+        evaluator.add_dophy("dophy", dophy)
+        evaluator.add_sliding("sliding", sliding)
+        sim = CollectionSimulation(
+            line_topology(4),
+            seed=11,
+            config=SimulationConfig(
+                duration=200.0, traffic_period=2.0,
+                routing=RoutingConfig(etx_noise_std=0.0),
+            ),
+            link_assigner=uniform_loss_assigner(0.1, 0.3),
+            observers=[dophy, evaluator],
+        )
+        sim.run()
+        assert evaluator.methods() == ["dophy", "sliding"]
+        curve = [(t, mae) for t, mae in evaluator.curve("sliding") if mae is not None]
+        assert len(curve) >= 5
+        # On a stationary run the windowed MAE tracks the batch MAE.
+        final_batch = evaluator.final_point("dophy").mae
+        final_sliding = evaluator.final_point("sliding").mae
+        assert abs(final_sliding - final_batch) < 0.1
 
     def test_invalid_period(self):
         with pytest.raises(ValueError):

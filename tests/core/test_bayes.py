@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.bayes import BayesianLinkEstimator
+from repro.core.decoder import DecodedAnnotation, DecodedHop
 from repro.core.estimator import PerLinkEstimator
 
 LINK = (2, 1)
@@ -106,6 +107,23 @@ class TestPosterior:
             est.add_exact(LINK, 5)
         with pytest.raises(ValueError):
             est.add_censored(LINK, 3, 2)
+
+    def test_add_decoded_clamps_out_of_range_hops(self):
+        """One corrupted hop must not drop the annotation's other hops."""
+        est = BayesianLinkEstimator(max_attempts=4)
+        decoded = DecodedAnnotation(
+            epoch=0,
+            path=[2, 1, 0],
+            hops=[
+                DecodedHop((2, 1), None, (2, 9)),  # hi beyond the cap
+                DecodedHop((1, 0), 0, (0, 0)),
+            ],
+            symbols=[],
+            wire_bits=0,
+        )
+        est.add_decoded(decoded)
+        assert est.n_samples((2, 1)) == 1
+        assert est.n_samples((1, 0)) == 1
 
 
 class TestShrinkage:

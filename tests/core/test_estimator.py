@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.decoder import DecodedHop
 from repro.core.estimator import PerLinkEstimator
 
 LINK = (3, 1)
@@ -198,6 +199,31 @@ class TestMultiLink:
     def test_merge_incompatible(self):
         with pytest.raises(ValueError):
             PerLinkEstimator(max_attempts=5).merge(PerLinkEstimator(max_attempts=6))
+
+    def test_merge_truncation_mismatch(self):
+        """Pooling evidence across different likelihoods must be rejected."""
+        a = PerLinkEstimator(max_attempts=5, truncation_correction=True)
+        b = PerLinkEstimator(max_attempts=5, truncation_correction=False)
+        b.add_exact(LINK, 2)
+        with pytest.raises(ValueError):
+            a.merge(b)
+        assert a.n_samples(LINK) == 0  # nothing was folded in
+
+
+class TestHopClamping:
+    def test_out_of_range_censored_hop_clamped_not_raised(self):
+        """A corrupted censored hop is clamped into range so the rest of
+        the annotation's hops still land."""
+        est = PerLinkEstimator(max_attempts=4)
+        hops = [
+            DecodedHop((1, 0), None, (2, 9)),  # hi beyond the retry cap
+            DecodedHop((2, 1), 1, (1, 1)),  # must survive the bad hop above
+        ]
+        est.add_hops(hops)
+        assert est.n_samples((1, 0)) == 1
+        assert est.n_samples((2, 1)) == 1
+        # Clamped to [2, 3] in retx space = attempts (3, 4).
+        assert est._data[(1, 0)].censored == {(3, 4): 1}
 
 
 class TestValidation:

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import DophyConfig
+from repro.core.decoder import DecodedAnnotation, DecodedHop
 from repro.core.dophy import DophySystem
 from repro.core.estimator import PerLinkEstimator
 from repro.core.windowed import SlidingLinkEstimator
@@ -108,6 +109,35 @@ class TestWindowing:
         est = SlidingLinkEstimator(max_attempts=5, window=1.0)
         with pytest.raises(ValueError):
             est.add_exact(LINK, 5, 0.0)
+
+    def test_add_censored_validates_bounds_at_insertion(self):
+        """Invalid censored bounds raise immediately rather than being
+        stored and corrupting a later window's likelihood."""
+        est = SlidingLinkEstimator(max_attempts=8, window=10.0)
+        with pytest.raises(ValueError):
+            est.add_censored(LINK, 3, 2, time=0.0)  # lo > hi
+        with pytest.raises(ValueError):
+            est.add_censored(LINK, 0, 8, time=0.0)  # hi beyond cap
+        with pytest.raises(ValueError):
+            est.add_censored(LINK, -1, 2, time=0.0)  # negative lo
+        assert est.estimate(LINK, now=0.0) is None  # nothing slipped in
+
+    def test_add_decoded_clamps_out_of_range_hops(self):
+        """One corrupted hop must not drop the annotation's other hops."""
+        est = SlidingLinkEstimator(max_attempts=4, window=10.0)
+        decoded = DecodedAnnotation(
+            epoch=0,
+            path=[2, 1, 0],
+            hops=[
+                DecodedHop((2, 1), None, (2, 9)),  # hi beyond the cap
+                DecodedHop((1, 0), 0, (0, 0)),
+            ],
+            symbols=[],
+            wire_bits=0,
+        )
+        est.add_decoded(decoded, time=1.0)
+        assert est.n_samples((2, 1), now=1.0) == 1
+        assert est.n_samples((1, 0), now=1.0) == 1
 
 
 class TestDriftTracking:

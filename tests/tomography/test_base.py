@@ -3,6 +3,7 @@
 import pytest
 
 from repro.net.link import uniform_loss_assigner
+from repro.net.packet import Packet
 from repro.net.routing import RoutingConfig
 from repro.net.simulation import CollectionSimulation, SimulationConfig
 from repro.net.topology import line_topology
@@ -99,3 +100,37 @@ class TestEndToEndObserver:
     def test_solve_is_abstract(self):
         with pytest.raises(NotImplementedError):
             EndToEndObserver().solve()
+
+
+class TestOriginStats:
+    """Delivery ratios count only resolved (delivered or dropped) packets.
+
+    Regression: ``resolved`` used to return ``generated``, so packets
+    still in flight at evaluation time deflated every delivery ratio.
+    """
+
+    def _packet(self, seq):
+        return Packet(origin=5, seqno=seq, created_at=0.0)
+
+    def _observer(self):
+        obs = EndToEndObserver()
+        obs._assumed_paths = {5: (5, 0)}
+        return obs
+
+    def test_pending_packets_excluded_from_delivery_ratio(self):
+        obs = self._observer()
+        for seq in range(10):
+            obs.on_packet_created(self._packet(seq), 0.0)
+        for seq in range(4):
+            obs.on_packet_delivered(self._packet(seq), 1.0)
+        for seq in range(4, 6):
+            obs.on_packet_dropped(self._packet(seq), 1.0)
+        stats = obs._stats[5]
+        assert stats.generated == 10
+        assert stats.resolved == 6  # 4 delivered + 2 dropped; 4 in flight
+        assert obs.delivery_ratios()[5] == pytest.approx(4 / 6)
+
+    def test_all_pending_yields_no_ratio(self):
+        obs = self._observer()
+        obs.on_packet_created(self._packet(0), 0.0)
+        assert obs.delivery_ratios() == {}
