@@ -5,10 +5,16 @@ Runs the standard scenarios without writing any Python::
     python -m repro list-scenarios
     python -m repro run --scenario dynamic_rgg --nodes 60 --seed 7
     python -m repro compare --scenario dynamic_rgg --methods dophy,tree_ratio,em
+    python -m repro serve --trace run.jsonl --shards 4 --state-dir state/
+    python -m repro tail --events events.jsonl --follow
 
 ``run`` executes one Dophy deployment and prints the per-link loss
 estimates; ``compare`` attaches several measurement approaches to one
-shared run and prints the accuracy/overhead comparison table.
+shared run and prints the accuracy/overhead comparison table; ``serve``
+drives the crash-tolerant streaming sink over a recorded trace (or a
+fresh simulation) with supervised shard workers, checkpoint/restore and
+backpressure; ``tail`` pretty-prints (and optionally follows) the event
+log ``serve`` writes.
 """
 
 from __future__ import annotations
@@ -262,6 +268,239 @@ def _compare_replicated(
     return 0
 
 
+def _snapshot_events(snapshot) -> List[dict]:
+    """JSONL event records for one sink snapshot (alerts first)."""
+    events: List[dict] = [
+        {
+            "type": "alert",
+            "round": alert.round_no,
+            "stream_time": alert.stream_time,
+            "link": list(alert.link),
+            "loss": alert.loss,
+            "n_samples": alert.n_samples,
+        }
+        for alert in snapshot.new_alerts
+    ]
+    events.append(
+        {
+            "type": "snapshot",
+            "round": snapshot.round_no,
+            "stream_time": snapshot.stream_time,
+            "final": snapshot.final,
+            "links": len(snapshot.estimates),
+            "stale_links": len(snapshot.stale_links),
+            "queue_depth": snapshot.queue_depth,
+            "shards": list(snapshot.shard_states),
+            "consumed": snapshot.stats.consumed,
+            "crashes": snapshot.stats.crashes,
+            "restores": snapshot.stats.restores,
+            "shed": snapshot.queue_stats.shed,
+        }
+    )
+    return events
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.stream import (
+        AlertPolicy,
+        DirectoryStore,
+        MemoryStore,
+        SinkConfig,
+        StreamingSink,
+        bundle_from_scenario,
+        bundle_from_trace,
+        feed_estimator,
+    )
+    from repro.stream.supervisor import RetryPolicy
+
+    if args.trace:
+        bundle = bundle_from_trace(args.trace)
+        source_desc = f"trace {args.trace}"
+    else:
+        scenario = _make_scenario(args)
+        bundle = bundle_from_scenario(scenario, args.seed)
+        source_desc = f"scenario {scenario.name} (seed {args.seed})"
+    store = DirectoryStore(args.state_dir) if args.state_dir else MemoryStore()
+    faults = None
+    if args.crash_rate > 0 or args.stall_rate > 0:
+        from repro.net.faults import ShardFaultPlan
+
+        faults = ShardFaultPlan(
+            seed=args.fault_seed,
+            crash_rate=args.crash_rate,
+            stall_rate=args.stall_rate,
+        )
+    if args.resume:
+        if not args.state_dir:
+            print("--resume requires --state-dir", file=sys.stderr)
+            return 2
+        sink = StreamingSink.resume(store, faults=faults)
+        print(
+            f"resumed from manifest: round {sink.round_no}, "
+            f"{sink.consumed} records already consumed"
+        )
+    else:
+        config = SinkConfig(
+            n_shards=args.shards,
+            queue_capacity=args.queue_capacity,
+            queue_policy=args.queue_policy,
+            arrival_burst=args.arrival_burst,
+            service_batch=args.service_batch,
+            merge_every=args.merge_every,
+            checkpoint_every=args.checkpoint_every,
+            jobs=args.jobs,
+            retry=RetryPolicy(max_restarts=args.max_restarts),
+            alerts=AlertPolicy(
+                loss_threshold=args.alert_threshold,
+                min_samples=args.alert_min_samples,
+            ),
+        )
+        sink = StreamingSink(bundle.max_attempts, store, config, faults=faults)
+    print(
+        f"serving {source_desc}: {len(bundle.records)} records, "
+        f"{sink.config.n_shards} shards, queue {sink.config.queue_policy}"
+        f"[{sink.config.queue_capacity}], jobs={sink.config.jobs}"
+    )
+    events_fh = open(args.events, "a", encoding="utf-8") if args.events else None
+    try:
+        final = None
+        for snapshot in sink.run(bundle.records):
+            final = snapshot
+            for alert in snapshot.new_alerts:
+                print(
+                    f"  ALERT t={alert.stream_time:.1f}s "
+                    f"{alert.link[0]}->{alert.link[1]} "
+                    f"loss {alert.loss:.3f} ({alert.n_samples} samples)"
+                )
+            states = "".join(s[0].upper() for s in snapshot.shard_states)
+            print(
+                f"round {snapshot.round_no:4d} t={snapshot.stream_time:7.1f}s "
+                f"links={len(snapshot.estimates):3d} "
+                f"queue={snapshot.queue_depth:3d} shards={states}"
+                + (f" stale={len(snapshot.stale_links)}" if snapshot.stale_links else "")
+            )
+            if events_fh is not None:
+                for event in _snapshot_events(snapshot):
+                    events_fh.write(json.dumps(event, sort_keys=True) + "\n")
+                events_fh.flush()
+    finally:
+        if events_fh is not None:
+            events_fh.close()
+    assert final is not None  # run() always yields a final snapshot
+    stale = set(final.stale_links)
+    truth = bundle.true_losses
+    rows = []
+    for link in sorted(final.estimates):
+        est = final.estimates[link]
+        if est.n_samples < args.min_samples:
+            continue
+        rows.append(
+            [
+                f"{link[0]}->{link[1]}" + (" *" if link in stale else ""),
+                est.n_samples,
+                est.loss,
+                truth.get(link),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["link", "samples", "estimated loss", "true loss"],
+            rows,
+            title=(
+                f"Final streaming estimates (>= {args.min_samples} samples"
+                + (", * = stale)" if stale else ")")
+            ),
+            precision=3,
+        )
+    )
+    stats = final.stats
+    queue_stats = final.queue_stats
+    print(
+        f"\nsink: {stats.rounds} rounds, {stats.consumed} consumed, "
+        f"{stats.dispatched} dispatched, {stats.crashes} crashes, "
+        f"{stats.stalls} stalls, {stats.restores} restores, "
+        f"{stats.dropped_quarantined} dropped (quarantine), "
+        f"{queue_stats.shed} shed, {queue_stats.blocked} blocked rounds, "
+        f"queue high-water {queue_stats.high_water}"
+    )
+    if args.verify_batch:
+        from repro.core.estimator import PerLinkEstimator
+
+        batch = PerLinkEstimator(
+            bundle.max_attempts,
+            truncation_correction=sink.truncation_correction,
+        )
+        feed_estimator(batch, bundle.records)
+        batch_estimates = batch.estimates()
+        mismatched = sorted(
+            link
+            for link in set(batch_estimates) | set(final.estimates)
+            if (est := final.estimates.get(link)) is None
+            or (ref := batch_estimates.get(link)) is None
+            or (est.loss, est.stderr, est.n_exact, est.n_censored)
+            != (ref.loss, ref.stderr, ref.n_exact, ref.n_censored)
+        )
+        if mismatched:
+            print(
+                f"verify-batch: MISMATCH on {len(mismatched)} links "
+                f"(first: {mismatched[:5]})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"verify-batch: OK — {len(batch_estimates)} links bit-identical "
+            f"to the batch estimator"
+        )
+    return 0
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+    import time
+
+    path = pathlib.Path(args.events)
+    printed = 0
+    while True:
+        lines = (
+            path.read_text(encoding="utf-8").splitlines() if path.exists() else []
+        )
+        for line in lines[printed:]:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail of an in-progress append
+            if event.get("type") == "alert":
+                link = event.get("link", ["?", "?"])
+                print(
+                    f"ALERT t={event.get('stream_time', 0):.1f}s "
+                    f"{link[0]}->{link[1]} loss {event.get('loss', 0):.3f} "
+                    f"({event.get('n_samples', 0)} samples)"
+                )
+            elif event.get("type") == "snapshot":
+                shards = "".join(str(s)[0].upper() for s in event.get("shards", []))
+                print(
+                    f"round {event.get('round', 0):4d} "
+                    f"t={event.get('stream_time', 0):7.1f}s "
+                    f"links={event.get('links', 0):3d} "
+                    f"queue={event.get('queue_depth', 0):3d} "
+                    f"shards={shards}"
+                    + (" FINAL" if event.get("final") else "")
+                )
+                if event.get("final"):
+                    return 0
+        printed = len(lines)
+        if not args.follow:
+            return 0
+        time.sleep(args.interval)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -341,6 +580,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed result cache; reruns only compute replicates "
         "missing for this exact configuration and code version",
     )
+
+    serve_p = sub.add_parser(
+        "serve", help="stream a trace (or live run) through the resilient sink"
+    )
+    add_common(serve_p)
+    serve_p.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="replay this recorded JSONL trace instead of simulating",
+    )
+    serve_p.add_argument("--shards", type=int, default=4)
+    serve_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for shard apply; output is byte-identical "
+        "to --jobs 1 regardless of N",
+    )
+    serve_p.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        default=None,
+        help="durable checkpoint/WAL directory (in-memory when omitted)",
+    )
+    serve_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the manifest in --state-dir (pass the same source)",
+    )
+    serve_p.add_argument("--queue-capacity", type=int, default=256)
+    serve_p.add_argument(
+        "--queue-policy",
+        choices=["block", "shed"],
+        default="block",
+        help="full-queue behaviour: pace the source, or drop the newest",
+    )
+    serve_p.add_argument("--arrival-burst", type=int, default=32)
+    serve_p.add_argument("--service-batch", type=int, default=32)
+    serve_p.add_argument("--merge-every", type=int, default=8)
+    serve_p.add_argument("--checkpoint-every", type=int, default=2)
+    serve_p.add_argument("--max-restarts", type=int, default=3)
+    serve_p.add_argument("--alert-threshold", type=float, default=0.3)
+    serve_p.add_argument("--alert-min-samples", type=int, default=20)
+    serve_p.add_argument(
+        "--crash-rate",
+        type=float,
+        default=0.0,
+        help="per-(shard, round) probability of killing a shard worker",
+    )
+    serve_p.add_argument(
+        "--stall-rate",
+        type=float,
+        default=0.0,
+        help="per-(shard, round) probability of hanging a shard worker",
+    )
+    serve_p.add_argument("--fault-seed", type=int, default=0)
+    serve_p.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="append snapshot/alert events as JSONL (read with `repro tail`)",
+    )
+    serve_p.add_argument(
+        "--verify-batch",
+        action="store_true",
+        help="exit 1 unless final estimates are bit-identical to the batch "
+        "estimator fed the same records",
+    )
+
+    tail_p = sub.add_parser(
+        "tail", help="pretty-print (and follow) a serve --events log"
+    )
+    tail_p.add_argument("--events", metavar="PATH", required=True)
+    tail_p.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep polling for new events until a final snapshot arrives",
+    )
+    tail_p.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="polling interval in seconds for --follow",
+    )
     return parser
 
 
@@ -352,4 +676,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "tail":
+        return _cmd_tail(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -31,7 +31,7 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import optimize
@@ -39,6 +39,9 @@ from scipy import optimize
 from repro.core.decoder import DecodedAnnotation, DecodedHop
 
 __all__ = ["LinkEstimate", "PerLinkEstimator", "SuffStats", "solve_batch"]
+
+#: Version tag of the serialized estimator state (see ``state_dict``).
+ESTIMATOR_STATE_SCHEMA = 1
 
 Link = Tuple[int, int]
 
@@ -538,6 +541,78 @@ class PerLinkEstimator:
             for interval, count in data.censored.items():
                 mine.censored[interval] = mine.censored.get(interval, 0) + count
             mine.times.extend(data.times)
+
+    # -- serialization ----------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of all accumulated evidence.
+
+        The layout is canonical — links and censored intervals are
+        sorted — so two estimators holding the same evidence serialize
+        to identical structures regardless of feeding order (per link,
+        observation *times* keep their arrival order; they are
+        diagnostics and never influence estimates).
+        """
+        links: List[Dict[str, Any]] = []
+        for link in self.links():
+            d = self._data[link]
+            links.append(
+                {
+                    "link": [link[0], link[1]],
+                    "n_exact": d.n_exact,
+                    "sum_retx": d.sum_retx,
+                    "censored": [
+                        [lo, hi, cnt] for (lo, hi), cnt in sorted(d.censored.items())
+                    ],
+                    "times": list(d.times),
+                }
+            )
+        return {
+            "schema": ESTIMATOR_STATE_SCHEMA,
+            "max_attempts": self.max_attempts,
+            "truncation_correction": self.truncation_correction,
+            "links": links,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "PerLinkEstimator":
+        """Rebuild an estimator from :meth:`state_dict` output.
+
+        Raises ``ValueError`` on schema mismatches or structurally
+        invalid payloads (the checkpoint layer wraps this into its typed
+        :class:`~repro.stream.checkpoint.CheckpointError`).
+        """
+        schema = state.get("schema")
+        if schema != ESTIMATOR_STATE_SCHEMA:
+            raise ValueError(
+                f"unsupported estimator state schema {schema!r} "
+                f"(expected {ESTIMATOR_STATE_SCHEMA})"
+            )
+        est = cls(
+            int(state["max_attempts"]),
+            truncation_correction=bool(state["truncation_correction"]),
+        )
+        entries = state["links"]
+        if not isinstance(entries, (list, tuple)):
+            raise ValueError("estimator state 'links' must be a sequence")
+        for entry in entries:
+            u, v = entry["link"]
+            link = (int(u), int(v))
+            d = est._data[link]
+            d.n_exact = int(entry["n_exact"])
+            d.sum_retx = int(entry["sum_retx"])
+            if d.n_exact < 0 or d.sum_retx < 0:
+                raise ValueError(f"negative evidence counts for link {link}")
+            for lo, hi, cnt in entry["censored"]:
+                lo, hi, cnt = int(lo), int(hi), int(cnt)
+                if not 1 <= lo <= hi <= est.max_attempts or cnt <= 0:
+                    raise ValueError(
+                        f"invalid censored interval [{lo}, {hi}] x{cnt} "
+                        f"for link {link}"
+                    )
+                d.censored[(lo, hi)] = cnt
+            d.times = [float(t) for t in entry.get("times", [])]
+        return est
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         total = sum(d.n_exact + d.n_censored for d in self._data.values())

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.decoder import DecodedAnnotation
 from repro.core.estimator import LinkEstimate, SuffStats, solve_batch
@@ -34,6 +34,9 @@ from repro.utils.validation import check_positive
 __all__ = ["SlidingLinkEstimator"]
 
 Link = Tuple[int, int]
+
+#: Version tag of the serialized sliding-window state (see ``state_dict``).
+WINDOWED_STATE_SCHEMA = 1
 
 
 @dataclass
@@ -291,6 +294,74 @@ class SlidingLinkEstimator:
 
     def links(self) -> List[Link]:
         return sorted(self._times.keys())
+
+    # -- serialization ----------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of the time-stamped observation log.
+
+        Window spans and running aggregates are *derived* state and are
+        not serialized; :meth:`from_state` rebuilds them lazily on the
+        first query, which is bitwise-equivalent to never having been
+        serialized at all.
+        """
+        links: List[Dict[str, Any]] = []
+        for link in self.links():
+            links.append(
+                {
+                    "link": [link[0], link[1]],
+                    "obs": [
+                        [o.time, o.retx, None if o.bounds is None else list(o.bounds)]
+                        for o in self._obs[link]
+                    ],
+                }
+            )
+        return {
+            "schema": WINDOWED_STATE_SCHEMA,
+            "max_attempts": self.max_attempts,
+            "window": self.window,
+            "truncation_correction": self.truncation_correction,
+            "links": links,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "SlidingLinkEstimator":
+        """Rebuild a sliding estimator from :meth:`state_dict` output.
+
+        Raises ``ValueError`` on schema mismatches or malformed payloads.
+        """
+        schema = state.get("schema")
+        if schema != WINDOWED_STATE_SCHEMA:
+            raise ValueError(
+                f"unsupported windowed state schema {schema!r} "
+                f"(expected {WINDOWED_STATE_SCHEMA})"
+            )
+        est = cls(
+            int(state["max_attempts"]),
+            float(state["window"]),
+            truncation_correction=bool(state["truncation_correction"]),
+        )
+        for entry in state["links"]:
+            u, v = entry["link"]
+            link = (int(u), int(v))
+            last_time = -float("inf")
+            for time, retx, bounds in entry["obs"]:
+                time = float(time)
+                if time < last_time:
+                    raise ValueError(
+                        f"observation times for link {link} not sorted"
+                    )
+                last_time = time
+                if retx is not None:
+                    est.add_exact(link, int(retx), time)
+                else:
+                    if bounds is None:
+                        raise ValueError(
+                            f"observation for link {link} has neither exact "
+                            "count nor censored bounds"
+                        )
+                    est.add_censored(link, int(bounds[0]), int(bounds[1]), time)
+        return est
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         total = sum(len(v) for v in self._obs.values())

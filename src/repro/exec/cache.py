@@ -85,6 +85,10 @@ class ResultCache:
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                # Durability, not just atomicity: without the fsync a crash
+                # shortly after os.replace can leave a zero-length entry.
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:

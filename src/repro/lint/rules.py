@@ -25,7 +25,7 @@ from repro.lint.violation import Violation
 __all__ = ["ALL_RULES", "RULE_DOCS", "LintContext", "Rule"]
 
 #: Path segments that mark a file as simulation-path code for RPL002.
-SIM_PATH_SEGMENTS = frozenset({"core", "net", "workloads", "exec"})
+SIM_PATH_SEGMENTS = frozenset({"core", "net", "workloads", "exec", "stream"})
 
 # ``random`` module functions that mutate/consume the hidden global stream.
 _PY_RANDOM_GLOBAL = frozenset(

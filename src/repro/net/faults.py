@@ -32,7 +32,7 @@ from typing import Sequence, Tuple
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_probability
 
-__all__ = ["SinkOutage", "FaultPlan"]
+__all__ = ["SinkOutage", "FaultPlan", "ShardFaultPlan"]
 
 
 @dataclass(frozen=True)
@@ -151,4 +151,88 @@ class FaultPlan:
             f" truncation={self.truncation_rate},"
             f" duplication={self.duplication_rate},"
             f" outages={len(self.sink_outages)})"
+        )
+
+
+class ShardFaultPlan:
+    """Seeded crash/stall injection for the streaming sink's shard workers.
+
+    Used by :class:`repro.stream.sink.StreamingSink` (and its tests) to
+    kill or hang a shard's estimator worker at a chosen dispatch round,
+    exercising the supervisor's checkpoint-restore and backoff paths.
+
+    Unlike :class:`FaultPlan`, the draws here are **stateless**: whether
+    shard ``s`` crashes at round ``r`` is a pure function of
+    ``(seed, s, r)``, derived through its own
+    :func:`repro.utils.rng.derive_rng` substream. That buys two
+    properties the supervisor tests rely on:
+
+    * enabling stalls never shifts which rounds crash (and vice versa);
+    * a sink that is killed and resumed mid-run sees exactly the same
+      remaining fault schedule as an uninterrupted run — there is no
+      generator state to fast-forward.
+
+    ``crash_at`` / ``stall_at`` force faults at exact ``(round, shard)``
+    coordinates for targeted tests, on top of any stochastic rate.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        crash_rate: float = 0.0,
+        stall_rate: float = 0.0,
+        stall_rounds: int = 2,
+        crash_at: Sequence[Tuple[int, int]] = (),
+        stall_at: Sequence[Tuple[int, int]] = (),
+    ):
+        check_probability(crash_rate, "crash_rate")
+        check_probability(stall_rate, "stall_rate")
+        if stall_rounds < 1:
+            raise ValueError("stall_rounds must be >= 1")
+        for where, name in ((crash_at, "crash_at"), (stall_at, "stall_at")):
+            for rnd, shard in where:
+                if rnd < 1 or shard < 0:
+                    raise ValueError(
+                        f"{name} entries must be (round >= 1, shard >= 0)"
+                    )
+        self.seed = seed
+        self.crash_rate = crash_rate
+        self.stall_rate = stall_rate
+        self.stall_rounds = stall_rounds
+        self.crash_at = frozenset((int(r), int(s)) for r, s in crash_at)
+        self.stall_at = frozenset((int(r), int(s)) for r, s in stall_at)
+
+    @property
+    def active(self) -> bool:
+        """True when any fault can actually fire."""
+        return bool(
+            self.crash_rate > 0
+            or self.stall_rate > 0
+            or self.crash_at
+            or self.stall_at
+        )
+
+    def _draw(self, kind: str, shard: int, round_no: int, rate: float) -> bool:
+        if rate <= 0:
+            return False
+        rng = derive_rng(self.seed, "faults", kind, shard, round_no)
+        return float(rng.random()) < rate
+
+    def draw_crash(self, shard: int, round_no: int) -> bool:
+        """Should ``shard``'s worker crash while applying round ``round_no``?"""
+        if (round_no, shard) in self.crash_at:
+            return True
+        return self._draw("shard-crash", shard, round_no, self.crash_rate)
+
+    def draw_stall(self, shard: int, round_no: int) -> bool:
+        """Should ``shard``'s worker hang at round ``round_no``?"""
+        if (round_no, shard) in self.stall_at:
+            return True
+        return self._draw("shard-stall", shard, round_no, self.stall_rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ShardFaultPlan(crash={self.crash_rate}, stall={self.stall_rate},"
+            f" forced={len(self.crash_at) + len(self.stall_at)})"
         )

@@ -1,0 +1,83 @@
+"""Crash-tolerant streaming sink (continuous decode → estimate → alert).
+
+Public surface of the pipeline built in DESIGN.md §11: picklable packet
+records and the stable shard hash (:mod:`.records`), durable blob stores
+(:mod:`.storage`), versioned checksummed checkpoints (:mod:`.checkpoint`),
+per-shard write-ahead spools (:mod:`.wal`), the bounded backpressure
+queue (:mod:`.queue`), shard supervision with retry budget and
+quarantine (:mod:`.supervisor`), shard workers (:mod:`.shard`), stream
+sources (:mod:`.source`) and the sink itself (:mod:`.sink`).
+"""
+
+from repro.stream.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    decode_checkpoint,
+    encode_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.stream.queue import BoundedPacketQueue, QueueStats
+from repro.stream.records import (
+    PacketRecord,
+    evidence_links,
+    feed_estimator,
+    record_from_dict,
+    record_to_dict,
+    shard_index,
+)
+from repro.stream.shard import ShardStats, ShardWorker, shard_apply_task
+from repro.stream.sink import (
+    Alert,
+    AlertPolicy,
+    SinkConfig,
+    SinkSnapshot,
+    SinkStats,
+    StreamingSink,
+)
+from repro.stream.source import (
+    StreamBundle,
+    bundle_from_result,
+    bundle_from_scenario,
+    bundle_from_trace,
+)
+from repro.stream.storage import BlobStore, DirectoryStore, MemoryStore
+from repro.stream.supervisor import RetryPolicy, ShardSupervisor
+from repro.stream.wal import WalError, WriteAheadLog
+
+__all__ = [
+    "Alert",
+    "AlertPolicy",
+    "BlobStore",
+    "BoundedPacketQueue",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "DirectoryStore",
+    "MemoryStore",
+    "PacketRecord",
+    "QueueStats",
+    "RetryPolicy",
+    "ShardStats",
+    "ShardSupervisor",
+    "ShardWorker",
+    "SinkConfig",
+    "SinkSnapshot",
+    "SinkStats",
+    "StreamBundle",
+    "StreamingSink",
+    "WalError",
+    "WriteAheadLog",
+    "bundle_from_result",
+    "bundle_from_scenario",
+    "bundle_from_trace",
+    "decode_checkpoint",
+    "encode_checkpoint",
+    "evidence_links",
+    "feed_estimator",
+    "load_checkpoint",
+    "record_from_dict",
+    "record_to_dict",
+    "save_checkpoint",
+    "shard_apply_task",
+    "shard_index",
+]

@@ -1,0 +1,223 @@
+"""One shard of the streaming sink: estimator + spool + checkpoint.
+
+A :class:`ShardWorker` owns one :class:`~repro.core.estimator.PerLinkEstimator`
+covering the links whose packets hash to it, and the two durable
+artifacts recovery needs: a write-ahead spool (every record is logged
+before any estimator sees it) and a versioned checkpoint (written every
+few snapshots, after which the spool's acked prefix is truncated).
+
+The apply step is factored as the *stateless* module-level
+:func:`shard_apply_task` — fold a batch into a fresh estimator, return
+its ``state_dict()`` delta — so the sink can run it inline (``jobs=1``)
+or ship it through :class:`repro.exec.parallel.ParallelRunner`'s process
+pool (``jobs>1``, with its chunked dispatch, per-task timeout and
+crashed-worker retry) and merge the delta positionally either way.
+Because :meth:`PerLinkEstimator.merge` is commutative/associative over
+sufficient statistics (the property ``tests/stream/test_merge_properties.py``
+pins), both paths produce byte-identical shard state.
+
+Recovery invariant: ``restore()`` rebuilds the estimator *from durable
+state only* (checkpoint + spool replay), never from what the crashed
+worker had in memory — so restore is idempotent, and a restored shard is
+field-identical to one that never crashed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.estimator import PerLinkEstimator
+from repro.stream.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.stream.records import (
+    PacketRecord,
+    feed_estimator,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.stream.storage import BlobStore
+from repro.stream.wal import WriteAheadLog
+
+__all__ = ["ShardStats", "ShardWorker", "shard_apply_task"]
+
+#: (max_attempts, truncation_correction, record dicts) — one apply batch.
+ApplyPayload = Tuple[int, bool, Tuple[Dict[str, Any], ...]]
+
+
+def shard_apply_task(payload: ApplyPayload) -> Dict[str, Any]:
+    """Stateless apply: fold a record batch into a fresh estimator.
+
+    Returns the fresh estimator's ``state_dict()`` — a pure function of
+    the payload, safe to run in any process and to retry after a worker
+    crash. The coordinator merges the delta into the shard's live
+    estimator.
+    """
+    max_attempts, truncation_correction, rec_dicts = payload
+    delta = PerLinkEstimator(
+        max_attempts, truncation_correction=truncation_correction
+    )
+    feed_estimator(delta, [record_from_dict(d) for d in rec_dicts])
+    return delta.state_dict()
+
+
+@dataclass
+class ShardStats:
+    """What one shard did over the sink's lifetime."""
+
+    logged: int = 0
+    applied: int = 0
+    crashes: int = 0
+    stalls: int = 0
+    restores: int = 0
+    checkpoints: int = 0
+    replayed: int = 0
+
+
+class ShardWorker:
+    """Supervised owner of one shard's estimator and durable state."""
+
+    def __init__(
+        self,
+        index: int,
+        max_attempts: int,
+        store: BlobStore,
+        *,
+        truncation_correction: bool = True,
+    ) -> None:
+        if index < 0:
+            raise ValueError("shard index must be >= 0")
+        self.index = index
+        self.max_attempts = max_attempts
+        self.truncation_correction = truncation_correction
+        self.store = store
+        self.wal = WriteAheadLog(store, f"shard-{index:03d}.wal")
+        self.checkpoint_name = f"shard-{index:03d}.ckpt"
+        self.estimator: Optional[PerLinkEstimator] = self._fresh()
+        #: Highest spool sequence ever logged / folded into ``estimator``.
+        self.seq_logged = 0
+        self.seq_applied = 0
+        self.stats = ShardStats()
+
+    def _fresh(self) -> PerLinkEstimator:
+        return PerLinkEstimator(
+            self.max_attempts, truncation_correction=self.truncation_correction
+        )
+
+    # -- the write-ahead contract -----------------------------------------------------
+
+    def log(self, records: Sequence[PacketRecord]) -> None:
+        """Spool records durably *before* any apply step may see them."""
+        for record in records:
+            self.seq_logged += 1
+            self.wal.append(self.seq_logged, record)
+        self.stats.logged += len(records)
+
+    def payload(self, records: Sequence[PacketRecord]) -> ApplyPayload:
+        """Picklable apply-task payload for this round's batch."""
+        return (
+            self.max_attempts,
+            self.truncation_correction,
+            tuple(record_to_dict(r) for r in records),
+        )
+
+    def absorb(self, delta_state: Dict[str, Any], count: int) -> None:
+        """Merge an apply task's delta; advances the applied watermark."""
+        if self.estimator is None:
+            raise RuntimeError(f"shard {self.index} is down; restore first")
+        self.estimator.merge(PerLinkEstimator.from_state(delta_state))
+        self.seq_applied += count
+        self.stats.applied += count
+
+    @property
+    def lag(self) -> int:
+        """Spooled-but-unapplied records (non-zero while down/backing off)."""
+        return self.seq_logged - self.seq_applied
+
+    # -- crash / recovery -------------------------------------------------------------
+
+    def crash(self) -> None:
+        """The worker died: in-memory estimator state is gone."""
+        self.estimator = None
+
+    def peek_durable(self) -> Tuple[PerLinkEstimator, int, float]:
+        """(estimator, seq, max record time) rebuilt from durable state only.
+
+        Checkpoint (if any) plus full spool replay — exactly what
+        :meth:`restore` installs, but without touching worker state, so
+        the sink can fold a *down* shard's last durable view into global
+        snapshots while its backoff elapses.
+        """
+        try:
+            ckpt = load_checkpoint(self.store, self.checkpoint_name)
+        except CheckpointError as exc:
+            if exc.cause != "missing":
+                raise
+            est, seq = self._fresh(), 0
+        else:
+            if ckpt.get("shard") != self.index:
+                raise CheckpointError(
+                    "malformed",
+                    f"checkpoint names shard {ckpt.get('shard')!r}, "
+                    f"expected {self.index}",
+                )
+            try:
+                est = PerLinkEstimator.from_state(ckpt["estimator"])
+                seq = int(ckpt["seq"])
+            except (KeyError, TypeError, ValueError) as exc2:
+                raise CheckpointError(
+                    "malformed", f"invalid estimator state: {exc2}"
+                ) from exc2
+        max_time = 0.0
+        replayed: List[PacketRecord] = []
+        for seq, record in self.wal.replay(seq):
+            replayed.append(record)
+            max_time = max(max_time, record.created_at)
+        feed_estimator(est, replayed)
+        self.stats.replayed += len(replayed)
+        return est, seq, max_time
+
+    def restore(self) -> float:
+        """Rebuild the live estimator from checkpoint + spool replay.
+
+        Returns the max record time replayed (0.0 if none) so the sink
+        can keep its stream clock honest. Idempotent: restoring twice is
+        the same as restoring once.
+        """
+        est, seq, max_time = self.peek_durable()
+        self.estimator = est
+        self.seq_applied = max(seq, self.wal.max_seq())
+        self.seq_logged = max(self.seq_logged, self.seq_applied)
+        self.stats.restores += 1
+        return max_time
+
+    def checkpoint(self) -> None:
+        """Durably snapshot the estimator; truncate the acked spool prefix."""
+        if self.estimator is None:
+            raise RuntimeError(f"shard {self.index} is down; cannot checkpoint")
+        if self.lag != 0:
+            raise RuntimeError(
+                f"shard {self.index} has {self.lag} unapplied spooled records; "
+                "checkpointing now would ack evidence the estimator never saw"
+            )
+        save_checkpoint(
+            self.store,
+            self.checkpoint_name,
+            {
+                "shard": self.index,
+                "seq": self.seq_applied,
+                "estimator": self.estimator.state_dict(),
+            },
+        )
+        self.wal.truncate_through(self.seq_applied)
+        self.stats.checkpoints += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "down" if self.estimator is None else "up"
+        return (
+            f"ShardWorker({self.index}, {state}, logged={self.seq_logged}, "
+            f"applied={self.seq_applied})"
+        )

@@ -1,0 +1,96 @@
+"""Stream sources: turn traces and simulations into packet-record streams.
+
+The sink consumes an ordered iterable of
+:class:`~repro.stream.records.PacketRecord` plus two pieces of run
+metadata (``max_attempts`` for the estimator's truncated likelihood and,
+when available, the ground-truth loss map for offline scoring). A
+:class:`StreamBundle` carries exactly that, built from either of the two
+sources the repo already has:
+
+* a recorded JSONL trace (:mod:`repro.net.tracefile`) — replay without
+  re-simulating, or ingest data recorded elsewhere;
+* a live :class:`~repro.net.simulation.SimulationResult` / scenario run —
+  ``repro serve --scenario ...`` simulates and streams in one step.
+
+Records preserve source order (trace line order / simulation packet
+order); the sink's zero-fault bit-equivalence guarantee is stated
+against that order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.net.tracefile import PathLike, TracePacket, load_trace, truth_from_header
+from repro.stream.records import PacketRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.simulation import SimulationResult
+    from repro.workloads.scenarios import Scenario
+
+__all__ = [
+    "StreamBundle",
+    "bundle_from_result",
+    "bundle_from_scenario",
+    "bundle_from_trace",
+]
+
+
+@dataclass(frozen=True)
+class StreamBundle:
+    """An ordered record stream plus the metadata the sink needs."""
+
+    max_attempts: int
+    records: Tuple[PacketRecord, ...]
+    #: Ground-truth link losses when the source carried them (else empty).
+    true_losses: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+
+def _record_from_trace_packet(packet: TracePacket) -> PacketRecord:
+    return PacketRecord(
+        origin=packet.origin,
+        seqno=packet.seqno,
+        created_at=packet.created_at,
+        delivered=packet.delivered,
+        hops=tuple(packet.hops),
+    )
+
+
+def bundle_from_trace(path: PathLike) -> StreamBundle:
+    """Load a recorded JSONL trace as a stream bundle."""
+    header, packets = load_trace(path)
+    return StreamBundle(
+        max_attempts=header.max_attempts,
+        records=tuple(_record_from_trace_packet(p) for p in packets),
+        true_losses=truth_from_header(header),
+    )
+
+
+def bundle_from_result(result: "SimulationResult") -> StreamBundle:
+    """Reduce a finished simulation to a stream bundle."""
+    records: List[PacketRecord] = []
+    for packet in result.packets:
+        records.append(
+            PacketRecord(
+                origin=packet.origin,
+                seqno=packet.seqno,
+                created_at=packet.created_at,
+                delivered=packet.delivered,
+                hops=tuple(
+                    (h.sender, h.receiver, h.attempts, h.delivered)
+                    for h in packet.hops
+                ),
+            )
+        )
+    return StreamBundle(
+        max_attempts=result.config.mac.max_attempts,
+        records=tuple(records),
+        true_losses=dict(result.ground_truth.true_loss_map()),
+    )
+
+
+def bundle_from_scenario(scenario: "Scenario", seed: int) -> StreamBundle:
+    """Run one scenario replicate and stream its packets."""
+    result = scenario.make_simulation(seed).run()
+    return bundle_from_result(result)

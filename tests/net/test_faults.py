@@ -106,3 +106,61 @@ class TestEndToEnd:
         assert report.decode_failures == report.attributed_failures
         assert report.packets_decoded + report.decode_failures == delivered
         assert sum(report.decode_failure_causes.values()) == report.decode_failures
+
+
+class TestShardFaultPlan:
+    def test_validation(self):
+        from repro.net.faults import ShardFaultPlan
+
+        with pytest.raises(ValueError):
+            ShardFaultPlan(crash_rate=1.5)
+        with pytest.raises(ValueError):
+            ShardFaultPlan(stall_rounds=0)
+        with pytest.raises(ValueError):
+            ShardFaultPlan(crash_at=[(0, 1)])  # rounds are 1-based
+        with pytest.raises(ValueError):
+            ShardFaultPlan(stall_at=[(3, -1)])
+
+    def test_active(self):
+        from repro.net.faults import ShardFaultPlan
+
+        assert not ShardFaultPlan().active
+        assert ShardFaultPlan(crash_rate=0.1).active
+        assert ShardFaultPlan(stall_at=[(2, 0)]).active
+
+    def test_draws_are_stateless(self):
+        from repro.net.faults import ShardFaultPlan
+
+        plan = ShardFaultPlan(seed=7, crash_rate=0.3)
+        first = [plan.draw_crash(s, r) for s in range(4) for r in range(1, 30)]
+        # Querying out of order / repeatedly never shifts the schedule.
+        again = [plan.draw_crash(s, r) for s in range(4) for r in range(1, 30)]
+        assert first == again
+        shuffled = [
+            plan.draw_crash(s, r) for r in range(29, 0, -1) for s in range(3, -1, -1)
+        ]
+        assert sorted(first) == sorted(shuffled)
+        assert any(first) and not all(first)
+
+    def test_crash_and_stall_streams_are_independent(self):
+        from repro.net.faults import ShardFaultPlan
+
+        crashes_only = ShardFaultPlan(seed=7, crash_rate=0.3)
+        both = ShardFaultPlan(seed=7, crash_rate=0.3, stall_rate=0.3)
+        schedule = [
+            crashes_only.draw_crash(s, r) for s in range(4) for r in range(1, 30)
+        ]
+        # Enabling stalls must not shift which rounds crash.
+        assert schedule == [
+            both.draw_crash(s, r) for s in range(4) for r in range(1, 30)
+        ]
+
+    def test_forced_coordinates_fire_exactly(self):
+        from repro.net.faults import ShardFaultPlan
+
+        plan = ShardFaultPlan(crash_at=[(3, 1)], stall_at=[(5, 0)])
+        assert plan.draw_crash(1, 3)
+        assert not plan.draw_crash(1, 4)
+        assert not plan.draw_crash(0, 3)
+        assert plan.draw_stall(0, 5)
+        assert not plan.draw_stall(0, 4)

@@ -1,0 +1,217 @@
+"""Durable-state failure modes (satellite 3): atomic writes, typed errors.
+
+Every way a state file can go bad must surface as a typed error naming
+the cause — never as unpickled garbage, a half-applied restore, or a
+silently skipped record.
+"""
+
+import pytest
+
+from repro.core.estimator import PerLinkEstimator
+from repro.core.windowed import SlidingLinkEstimator
+from repro.stream import (
+    CheckpointError,
+    DirectoryStore,
+    MemoryStore,
+    PacketRecord,
+    WalError,
+    WriteAheadLog,
+    decode_checkpoint,
+    encode_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+def rec(seqno, created_at=1.0):
+    return PacketRecord(
+        origin=1,
+        seqno=seqno,
+        created_at=created_at,
+        delivered=True,
+        hops=((1, 0, 2, True),),
+    )
+
+
+class TestCheckpointFraming:
+    def test_roundtrip(self):
+        payload = {"shard": 3, "seq": 17, "estimator": {"links": []}}
+        assert decode_checkpoint(encode_checkpoint(payload)) == payload
+
+    def test_missing_is_typed(self):
+        with pytest.raises(CheckpointError) as exc:
+            load_checkpoint(MemoryStore(), "nope.ckpt")
+        assert exc.value.cause == "missing"
+
+    def test_truncated_payload_is_typed(self):
+        blob = encode_checkpoint({"x": 1})
+        with pytest.raises(CheckpointError) as exc:
+            decode_checkpoint(blob[:-2])
+        assert exc.value.cause == "truncated"
+
+    def test_empty_file_is_truncated(self):
+        with pytest.raises(CheckpointError) as exc:
+            decode_checkpoint(b"")
+        assert exc.value.cause == "truncated"
+
+    def test_corrupt_payload_is_typed(self):
+        blob = bytearray(encode_checkpoint({"x": 1}))
+        blob[-1] ^= 0xFF  # flip a payload bit; header checksum now lies
+        with pytest.raises(CheckpointError) as exc:
+            decode_checkpoint(bytes(blob))
+        assert exc.value.cause == "corrupt"
+
+    def test_future_version_is_typed(self):
+        blob = encode_checkpoint({"x": 1}).replace(
+            b'"version": 1', b'"version": 99'
+        )
+        with pytest.raises(CheckpointError) as exc:
+            decode_checkpoint(blob)
+        assert exc.value.cause == "version"
+
+    def test_garbage_header_is_typed(self):
+        with pytest.raises(CheckpointError) as exc:
+            decode_checkpoint(b"not json at all\n{}")
+        assert exc.value.cause == "malformed"
+
+    def test_never_unpickles(self):
+        # A pickle-looking blob must be rejected at the framing layer.
+        import pickle
+
+        blob = pickle.dumps({"evil": True})
+        with pytest.raises(CheckpointError):
+            decode_checkpoint(blob)
+
+
+class TestDirectoryStore:
+    def test_atomic_write_and_read(self, tmp_path):
+        store = DirectoryStore(tmp_path, fsync=False)
+        save_checkpoint(store, "a.ckpt", {"v": 1})
+        assert load_checkpoint(store, "a.ckpt") == {"v": 1}
+        # No temp litter left behind after a successful replace.
+        assert store.names() == ["a.ckpt"]
+
+    def test_flat_names_only(self, tmp_path):
+        store = DirectoryStore(tmp_path, fsync=False)
+        with pytest.raises(ValueError):
+            store.write_atomic("../escape", b"x")
+        with pytest.raises(ValueError):
+            store.write_atomic("sub/dir", b"x")
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        store = DirectoryStore(tmp_path, fsync=False)
+        save_checkpoint(store, "a.ckpt", {"v": 1})
+        save_checkpoint(store, "a.ckpt", {"v": 2})
+        assert load_checkpoint(store, "a.ckpt") == {"v": 2}
+
+    def test_truncated_file_on_disk_is_rejected(self, tmp_path):
+        store = DirectoryStore(tmp_path, fsync=False)
+        save_checkpoint(store, "a.ckpt", {"v": 1})
+        blob = store.read("a.ckpt")
+        (tmp_path / "a.ckpt").write_bytes(blob[: len(blob) - 3])
+        with pytest.raises(CheckpointError) as exc:
+            load_checkpoint(store, "a.ckpt")
+        assert exc.value.cause == "truncated"
+
+
+class TestWriteAheadLog:
+    def test_append_replay_roundtrip(self):
+        wal = WriteAheadLog(MemoryStore(), "s.wal")
+        for i in range(1, 6):
+            wal.append(i, rec(i))
+        assert [seq for seq, _ in wal.replay(0)] == [1, 2, 3, 4, 5]
+        assert [seq for seq, _ in wal.replay(3)] == [4, 5]
+        assert wal.max_seq() == 5
+
+    def test_torn_tail_is_dropped_and_counted(self):
+        store = MemoryStore()
+        wal = WriteAheadLog(store, "s.wal")
+        wal.append(1, rec(1))
+        wal.append(2, rec(2))
+        # Simulate a crash mid-append: a half-written final line.
+        store._blobs["s.wal"] = store._blobs["s.wal"] + b'{"seq": 3, "crc":'
+        assert [seq for seq, _ in wal.replay(0)] == [1, 2]
+        assert wal.torn_tail_dropped == 1
+
+    def test_mid_file_corruption_is_fatal(self):
+        store = MemoryStore()
+        wal = WriteAheadLog(store, "s.wal")
+        for i in range(1, 4):
+            wal.append(i, rec(i))
+        lines = store.read("s.wal").decode().splitlines()
+        lines[1] = lines[1][:-5] + "XXXX}"  # damage a non-final line
+        store._blobs["s.wal"] = ("\n".join(lines) + "\n").encode()
+        with pytest.raises(WalError):
+            list(wal.replay(0))
+
+    def test_corrupted_crc_mid_file_is_fatal(self):
+        store = MemoryStore()
+        wal = WriteAheadLog(store, "s.wal")
+        for i in range(1, 4):
+            wal.append(i, rec(i))
+        lines = store.read("s.wal").decode().splitlines()
+        lines[0] = lines[0].replace('"seqno":1', '"seqno":9')
+        store._blobs["s.wal"] = ("\n".join(lines) + "\n").encode()
+        with pytest.raises(WalError):
+            list(wal.replay(0))
+
+    def test_non_increasing_sequence_is_fatal(self):
+        store = MemoryStore()
+        wal = WriteAheadLog(store, "s.wal")
+        wal.append(2, rec(2))
+        wal.append(2, rec(3))
+        with pytest.raises(WalError):
+            list(wal.replay(0))
+
+    def test_truncate_through_drops_acked_prefix(self):
+        store = MemoryStore()
+        wal = WriteAheadLog(store, "s.wal")
+        for i in range(1, 6):
+            wal.append(i, rec(i))
+        assert wal.truncate_through(3) == 2
+        assert [seq for seq, _ in wal.replay(0)] == [4, 5]
+        assert wal.truncate_through(5) == 0
+        assert not store.exists("s.wal")
+
+    def test_drop_after_cuts_the_tail(self):
+        store = MemoryStore()
+        wal = WriteAheadLog(store, "s.wal")
+        for i in range(1, 6):
+            wal.append(i, rec(i))
+        assert wal.drop_after(3) == 2
+        assert [seq for seq, _ in wal.replay(0)] == [1, 2, 3]
+        assert wal.drop_after(0) == 3
+        assert not store.exists("s.wal")
+
+
+class TestStateRoundTrips:
+    def test_estimator_rejects_unknown_schema(self):
+        est = PerLinkEstimator(3)
+        state = est.state_dict()
+        state["schema"] = 42
+        with pytest.raises(ValueError):
+            PerLinkEstimator.from_state(state)
+
+    def test_estimator_rejects_negative_counts(self):
+        est = PerLinkEstimator(3)
+        est.add_exact((0, 1), 1, 1.0)
+        state = est.state_dict()
+        state["links"][0]["n_exact"] = -1
+        with pytest.raises(ValueError):
+            PerLinkEstimator.from_state(state)
+
+    def test_windowed_roundtrip(self):
+        est = SlidingLinkEstimator(3, window=30.0)
+        est.add_exact((0, 1), 1, 5.0)
+        est.add_exact((0, 1), 0, 12.0)
+        est.add_censored((1, 2), 1, 2, 20.0)
+        clone = SlidingLinkEstimator.from_state(est.state_dict())
+        assert clone.state_dict() == est.state_dict()
+        assert clone.estimates(25.0).keys() == est.estimates(25.0).keys()
+
+    def test_windowed_rejects_unknown_schema(self):
+        est = SlidingLinkEstimator(3, window=30.0)
+        state = est.state_dict()
+        state["schema"] = 42
+        with pytest.raises(ValueError):
+            SlidingLinkEstimator.from_state(state)

@@ -1,0 +1,194 @@
+"""Kill-restore equivalence (satellite 2) and graceful degradation.
+
+The acceptance bar: injected shard crashes followed by supervised
+restore (checkpoint + WAL replay) must leave the final per-link
+estimates **field-by-field identical** to an uninterrupted same-seed
+run, and a shard that exhausts its retry budget must surface as per-link
+staleness flags — never as silently wrong numbers.
+"""
+
+import pytest
+
+from repro.net.faults import ShardFaultPlan
+from repro.stream import (
+    MemoryStore,
+    RetryPolicy,
+    SinkConfig,
+    StreamingSink,
+)
+from repro.stream.supervisor import DOWN, HEALTHY, QUARANTINED, ShardSupervisor
+from tests.stream.conftest import estimate_fields
+
+CFG = SinkConfig(n_shards=3, merge_every=4, alerts=None)
+
+
+def run_sink(bundle, config=CFG, faults=None, store=None):
+    sink = StreamingSink(
+        bundle.max_attempts, store or MemoryStore(), config, faults=faults
+    )
+    snapshots = list(sink.run(bundle.records))
+    return sink, snapshots
+
+
+class TestKillRestore:
+    def test_crash_mid_window_restores_identical_estimates(self, bundle):
+        _, clean = run_sink(bundle)
+        faults = ShardFaultPlan(seed=3, crash_at=((3, 1), (5, 0)))
+        sink, snaps = run_sink(bundle, faults=faults)
+        assert sink.stats.crashes == 2
+        assert sink.stats.restores == 2
+        assert estimate_fields(snaps[-1].estimates) == estimate_fields(
+            clean[-1].estimates
+        )
+        assert not snaps[-1].stale_links
+
+    def test_stall_is_recovered_like_a_crash(self, bundle):
+        _, clean = run_sink(bundle)
+        faults = ShardFaultPlan(seed=3, stall_at=((2, 2),), stall_rounds=3)
+        sink, snaps = run_sink(bundle, faults=faults)
+        assert sink.stats.stalls == 1
+        assert sink.stats.restores == 1
+        assert estimate_fields(snaps[-1].estimates) == estimate_fields(
+            clean[-1].estimates
+        )
+
+    def test_random_crash_storm_still_converges(self, bundle):
+        _, clean = run_sink(bundle)
+        faults = ShardFaultPlan(seed=5, crash_rate=0.1)
+        sink, snaps = run_sink(bundle, faults=faults)
+        assert sink.stats.crashes > 0
+        assert not sink.supervisor.quarantined_shards()
+        assert estimate_fields(snaps[-1].estimates) == estimate_fields(
+            clean[-1].estimates
+        )
+
+    def test_no_fault_run_reports_no_supervision_activity(self, bundle):
+        sink, snaps = run_sink(bundle)
+        assert sink.stats.crashes == 0
+        assert sink.stats.restores == 0
+        assert snaps[-1].shard_states == (HEALTHY,) * 3
+
+
+class TestQuarantine:
+    def quarantined_run(self, bundle):
+        config = SinkConfig(
+            n_shards=3,
+            merge_every=4,
+            alerts=None,
+            retry=RetryPolicy(max_restarts=1),
+        )
+        faults = ShardFaultPlan(
+            seed=3, crash_at=tuple((r, 1) for r in range(1, 60))
+        )
+        return run_sink(bundle, config=config, faults=faults)
+
+    def test_budget_exhaustion_quarantines_and_flags_links(self, bundle):
+        sink, snaps = self.quarantined_run(bundle)
+        assert sink.supervisor.quarantined_shards() == [1]
+        final = snaps[-1]
+        assert final.shard_states[1] == QUARANTINED
+        assert final.stale_links  # degradation is visible, not silent
+        assert sink.stats.dropped_quarantined > 0
+
+    def test_quarantined_shard_still_contributes_durable_state(self, bundle):
+        sink, snaps = self.quarantined_run(bundle)
+        # The frozen contribution keeps every link that had durable
+        # evidence before the quarantine; a link whose only evidence was
+        # dropped afterwards may be absent — but then it MUST be flagged.
+        _, clean = run_sink(bundle)
+        final = snaps[-1]
+        assert set(final.estimates) <= set(clean[-1].estimates)
+        missing = set(clean[-1].estimates) - set(final.estimates)
+        assert missing <= set(final.stale_links)
+
+    def test_healthy_links_unaffected_by_dead_shard(self, bundle):
+        sink, snaps = self.quarantined_run(bundle)
+        _, clean = run_sink(bundle)
+        stale = set(snaps[-1].stale_links)
+        degraded = estimate_fields(snaps[-1].estimates)
+        reference = estimate_fields(clean[-1].estimates)
+        for link, fields in reference.items():
+            if link not in stale:
+                assert degraded[link] == fields
+
+
+class TestProcessResume:
+    def test_resume_from_manifest_converges_identically(self, bundle):
+        _, clean = run_sink(bundle)
+        store = MemoryStore()
+        first = StreamingSink(bundle.max_attempts, store, CFG)
+        gen = first.run(bundle.records)
+        next(gen)  # one snapshot, then the process "dies"
+        resumed = StreamingSink.resume(store)
+        assert resumed.consumed > 0
+        snaps = list(resumed.run(bundle.records))
+        assert estimate_fields(snaps[-1].estimates) == estimate_fields(
+            clean[-1].estimates
+        )
+
+    def test_resume_with_faults_sees_the_same_schedule(self, bundle):
+        faults = ShardFaultPlan(seed=3, crash_rate=0.08)
+        _, uninterrupted = run_sink(bundle, faults=faults)
+        store = MemoryStore()
+        first = StreamingSink(bundle.max_attempts, store, CFG, faults=faults)
+        gen = first.run(bundle.records)
+        next(gen)
+        resumed = StreamingSink.resume(store, faults=faults)
+        snaps = list(resumed.run(bundle.records))
+        assert estimate_fields(snaps[-1].estimates) == estimate_fields(
+            uninterrupted[-1].estimates
+        )
+
+    def test_resume_requires_the_original_stream(self, bundle):
+        store = MemoryStore()
+        first = StreamingSink(bundle.max_attempts, store, CFG)
+        gen = first.run(bundle.records)
+        next(gen)
+        resumed = StreamingSink.resume(store)
+        with pytest.raises(ValueError, match="consumed offset"):
+            list(resumed.run(bundle.records[:1]))
+
+    def test_repeated_restore_is_idempotent(self, bundle):
+        faults = ShardFaultPlan(seed=3, crash_at=((3, 1),))
+        sink, _ = run_sink(bundle, faults=faults)
+        shard = sink.shards[1]
+        before = shard.estimator.state_dict()
+        shard.restore()
+        shard.restore()
+        assert shard.estimator.state_dict() == before
+
+
+class TestSupervisor:
+    def test_backoff_schedule_is_exponential_and_capped(self):
+        policy = RetryPolicy(max_restarts=10, backoff_base=1, backoff_cap=8)
+        assert [policy.backoff_rounds(n) for n in range(1, 7)] == [
+            1, 2, 4, 8, 8, 8,
+        ]
+
+    def test_lifecycle_healthy_down_restored(self):
+        sup = ShardSupervisor(2, RetryPolicy(max_restarts=2, backoff_base=2))
+        assert sup.state(0) == HEALTHY
+        assert sup.record_failure(0, round_no=5) == DOWN
+        assert not sup.due_for_restore(0, 6)
+        assert sup.due_for_restore(0, 7)
+        sup.mark_restored(0)
+        assert sup.state(0) == HEALTHY
+
+    def test_budget_exhaustion_is_terminal(self):
+        sup = ShardSupervisor(1, RetryPolicy(max_restarts=1, backoff_base=1))
+        assert sup.record_failure(0, 1) == DOWN
+        sup.mark_restored(0)
+        assert sup.record_failure(0, 2) == QUARANTINED
+        assert sup.state(0) == QUARANTINED
+        with pytest.raises(ValueError):
+            sup.mark_restored(0)
+        # Further failures stay quarantined, never resurrect.
+        assert sup.record_failure(0, 3) == QUARANTINED
+
+    def test_state_roundtrip(self):
+        sup = ShardSupervisor(3, RetryPolicy())
+        sup.record_failure(1, 4)
+        clone = ShardSupervisor(3, RetryPolicy())
+        clone.restore_state(sup.state_dict())
+        assert clone.state_dict() == sup.state_dict()
+        assert clone.state(1) == DOWN

@@ -1,0 +1,46 @@
+"""``jobs=N`` ≡ ``jobs=1`` for the sharded streaming sink.
+
+The shard apply stage is the only part of the sink that crosses a
+process boundary, and it ships stateless delta tasks whose results merge
+positionally in sorted shard order — so worker count must never change a
+single field of the final estimates, with or without injected faults.
+
+``REPRO_TEST_JOBS`` overrides the parallel width (CI runs 2).
+"""
+
+import os
+
+import pytest
+
+from repro.net.faults import ShardFaultPlan
+from repro.stream import MemoryStore, SinkConfig, StreamingSink
+from tests.stream.conftest import estimate_fields
+
+JOBS = int(os.environ.get("REPRO_TEST_JOBS", "2"))
+
+
+def final_estimates(bundle, jobs, faults=None):
+    config = SinkConfig(n_shards=4, merge_every=4, alerts=None, jobs=jobs)
+    sink = StreamingSink(
+        bundle.max_attempts, MemoryStore(), config, faults=faults
+    )
+    return estimate_fields(list(sink.run(bundle.records))[-1].estimates)
+
+
+def test_parallel_apply_matches_serial(bundle):
+    assert final_estimates(bundle, JOBS) == final_estimates(bundle, 1)
+
+
+def test_parallel_apply_matches_serial_under_faults(bundle):
+    faults = ShardFaultPlan(seed=9, crash_rate=0.05)
+    assert final_estimates(bundle, JOBS, faults) == final_estimates(
+        bundle, 1, faults
+    )
+
+
+@pytest.mark.parametrize("n_shards", [2, 5])
+def test_shard_count_never_changes_estimates(bundle, n_shards):
+    config = SinkConfig(n_shards=n_shards, merge_every=4, alerts=None)
+    sink = StreamingSink(bundle.max_attempts, MemoryStore(), config)
+    final = estimate_fields(list(sink.run(bundle.records))[-1].estimates)
+    assert final == final_estimates(bundle, 1)
