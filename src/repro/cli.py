@@ -84,6 +84,8 @@ def _make_scenario(args: argparse.Namespace) -> Scenario:
         overrides["duration"] = args.duration
     if args.traffic_period is not None:
         overrides["traffic_period"] = args.traffic_period
+    if getattr(args, "engine", None) is not None:
+        overrides["engine"] = args.engine
     if overrides:
         scenario = scenario.with_config(**overrides)
     return scenario
@@ -518,6 +520,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--duration", type=float, default=None, help="seconds")
         p.add_argument("--traffic-period", type=float, default=None)
         p.add_argument("--seed", type=int, default=1)
+        p.add_argument(
+            "--engine",
+            choices=["event", "array"],
+            default=None,
+            help="simulation kernel; both produce bit-identical results "
+            "(array is the vectorized fast path, event the reference)",
+        )
         p.add_argument(
             "--min-samples",
             type=int,

@@ -8,8 +8,9 @@ traffic, and full ground-truth tracing so estimators can be scored
 against the links' true loss ratios.
 """
 
-from repro.net.events import EventQueue
+from repro.net.events import CalendarQueue, EventQueue
 from repro.net.failures import FailureEvent, FailurePlan, random_failure_plan
+from repro.net.fastsim import FastArqMac, VectorizedEtxSampler, array_simulator
 from repro.net.faults import FaultPlan, SinkOutage
 from repro.net.interference import Interferer, InterfererField, interference_assigner
 from repro.net.link import (
@@ -53,6 +54,10 @@ from repro.net.tracefile import (
 
 __all__ = [
     "EventQueue",
+    "CalendarQueue",
+    "FastArqMac",
+    "VectorizedEtxSampler",
+    "array_simulator",
     "FailureEvent",
     "FailurePlan",
     "random_failure_plan",

@@ -1,37 +1,73 @@
-"""Priority event queue for the discrete-event simulator.
+"""Event queues for the discrete-event simulator.
 
-Events with equal timestamps fire in insertion order (a strictly
-increasing sequence number breaks ties), which keeps runs deterministic
-regardless of heap internals. Cancellation is lazy: cancelled entries
-stay in the heap and are skipped when they surface.
+Two implementations share one contract:
+
+* :class:`EventQueue` — a single binary heap of handle objects (the
+  original engine's queue, kept as the reference implementation);
+* :class:`CalendarQueue` — a bucketed event wheel: pending events are
+  partitioned into fixed-width time buckets, future buckets are plain
+  append-only lists, and only the bucket currently being drained is kept
+  heap-ordered. Pushing into the future is O(1) and the per-event heap
+  comparisons shrink from the whole queue to one bucket, which is what
+  makes the array simulation kernel's event loop cheap.
+
+**Ordering contract (pinned by tests/net/test_calendar_queue.py):**
+events pop in ``(time, seq)`` order, where ``seq`` is a strictly
+increasing insertion counter. In particular, events scheduled at *equal*
+float timestamps fire in schedule order — never in heap-internal or
+bucket-internal order. This matters because simulation times are floats:
+``a.after(d1)`` and ``b.after(d2)`` can land on the bit-identical
+timestamp (e.g. a MAC exchange end and the forwarding of the packet it
+released when ``forward_delay == 0``), and the simulator's determinism
+guarantee requires that such ties resolve identically on every engine,
+platform and run. Cancellation is lazy in both queues: cancelled
+entries stay in place and are skipped when they surface.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional
+import math
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-__all__ = ["EventQueue", "ScheduledEvent"]
+__all__ = ["EventQueue", "CalendarQueue", "ScheduledEvent"]
 
 
 class ScheduledEvent:
-    """Handle returned by :meth:`EventQueue.push`; supports cancellation."""
+    """Handle returned by ``push``; supports cancellation.
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "_queue")
+    ``args`` are passed to ``callback`` when the event fires; scheduling
+    ``(fn, args)`` instead of a closure keeps the hot path of the array
+    kernel free of per-event lambda allocations.
+    """
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], Any], queue: "EventQueue"):
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        queue: "_QueueBase",
+        args: Tuple[Any, ...] = (),
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
+        self.args = args
         self.cancelled = False
         self._queue = queue
 
     def cancel(self) -> None:
-        """Mark the event dead; it will be skipped when it reaches the heap top."""
+        """Mark the event dead; it will be skipped when it surfaces."""
         if not self.cancelled:
             self.cancelled = True
             self._queue._live -= 1
+
+    def fire(self) -> Any:
+        """Invoke the callback with its scheduled arguments."""
+        return self.callback(*self.args)
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -41,21 +77,42 @@ class ScheduledEvent:
         return f"ScheduledEvent(t={self.time}, seq={self.seq}, {state})"
 
 
-class EventQueue:
-    """Min-heap of :class:`ScheduledEvent` ordered by (time, insertion)."""
+class _QueueBase:
+    """Shared queue surface: live-event accounting and push validation."""
 
     def __init__(self) -> None:
-        self._heap: List[ScheduledEvent] = []
         self._counter = itertools.count()
         self._live = 0
 
-    def push(self, time: float, callback: Callable[[], Any]) -> ScheduledEvent:
-        """Schedule ``callback`` at ``time``; returns a cancellable handle."""
+    def _make_event(
+        self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...]
+    ) -> ScheduledEvent:
         if not callable(callback):
             raise TypeError("callback must be callable")
-        event = ScheduledEvent(float(time), next(self._counter), callback, self)
-        heapq.heappush(self._heap, event)
+        event = ScheduledEvent(float(time), next(self._counter), callback, self, args)
         self._live += 1
+        return event
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+
+class EventQueue(_QueueBase):
+    """Min-heap of :class:`ScheduledEvent` ordered by (time, insertion)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap: List[ScheduledEvent] = []
+
+    def push(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at ``time``; returns a cancellable handle."""
+        event = self._make_event(time, callback, args)
+        heapq.heappush(self._heap, event)
         return event
 
     def pop(self) -> Optional[ScheduledEvent]:
@@ -74,8 +131,96 @@ class EventQueue:
             heapq.heappop(self._heap)
         return self._heap[0].time if self._heap else None
 
-    def __len__(self) -> int:
-        return self._live
 
-    def __bool__(self) -> bool:
-        return self._live > 0
+#: One wheel entry. The (time, seq) prefix carries the full ordering, so
+#: tuple comparison never reaches the handle object.
+_Entry = Tuple[float, int, ScheduledEvent]
+
+
+class CalendarQueue(_QueueBase):
+    """Bucketed event wheel with the same ordering contract as :class:`EventQueue`.
+
+    Pending events live in fixed-width time buckets (``bucket_width``
+    seconds each). The earliest bucket is drained as a small heap of
+    ``(time, seq, event)`` tuples; later buckets are unsorted lists that
+    are heapified only when the wheel reaches them. A side heap of
+    bucket indices finds the next non-empty bucket in O(log buckets).
+
+    Pushes may arrive in any time order (the wheel is a general priority
+    queue, not just a forward-only scheduler): an entry at or before the
+    bucket currently being drained joins that bucket's heap, which keeps
+    the global ``(time, seq)`` pop order exact. Bucket assignment uses
+    float floor division; because IEEE division is monotone, an entry can
+    never land in a *later* bucket than an entry with a greater
+    timestamp, so boundary rounding cannot reorder events.
+    """
+
+    def __init__(self, bucket_width: float = 0.01) -> None:
+        super().__init__()
+        if not bucket_width > 0.0 or not math.isfinite(bucket_width):
+            raise ValueError("bucket_width must be a positive finite float")
+        self._width = float(bucket_width)
+        self._current: List[_Entry] = []  # heap of the bucket being drained
+        self._current_idx: Optional[int] = None
+        self._future: Dict[int, List[_Entry]] = {}  # idx -> unsorted entries
+        self._bucket_heap: List[int] = []  # indices of buckets in _future
+
+    def _bucket_of(self, time: float) -> int:
+        return int(time // self._width)
+
+    def push(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at ``time``; returns a cancellable handle."""
+        event = self._make_event(time, callback, args)
+        entry: _Entry = (event.time, event.seq, event)
+        idx = self._bucket_of(event.time)
+        if self._current_idx is None or idx <= self._current_idx:
+            # First event ever, or an event at/before the wheel position:
+            # it belongs to the bucket being drained right now.
+            if self._current_idx is None:
+                self._current_idx = idx
+            heapq.heappush(self._current, entry)
+        else:
+            bucket = self._future.get(idx)
+            if bucket is None:
+                self._future[idx] = [entry]
+                heapq.heappush(self._bucket_heap, idx)
+            else:
+                bucket.append(entry)
+        return event
+
+    def _advance(self) -> None:
+        """Promote the next non-empty future bucket into the current heap."""
+        while not self._current and self._bucket_heap:
+            idx = heapq.heappop(self._bucket_heap)
+            bucket = self._future.pop(idx, None)
+            if bucket:
+                heapq.heapify(bucket)
+                self._current = bucket
+                self._current_idx = idx
+
+    def pop(self) -> Optional[ScheduledEvent]:
+        """Remove and return the earliest live event, or None if empty."""
+        while True:
+            if not self._current:
+                self._advance()
+                if not self._current:
+                    return None
+            _, _, event = heapq.heappop(self._current)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest live event without removing it."""
+        while True:
+            if not self._current:
+                self._advance()
+                if not self._current:
+                    return None
+            if self._current[0][2].cancelled:
+                heapq.heappop(self._current)
+                continue
+            return self._current[0][0]

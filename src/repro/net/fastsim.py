@@ -1,0 +1,262 @@
+"""Array-native simulation kernel (``engine="array"``).
+
+The reference engine in :mod:`repro.net.sim` / :mod:`repro.net.simulation`
+is an object-per-event design: every frame draw is one scalar RNG call
+through two virtual dispatches, every beacon round draws one lognormal
+noise sample per directed edge, and every event competes in one global
+binary heap. Profiling a 100-node dynamic RGG puts ~54% of the run in
+the per-edge beacon sampling loop, ~25–30% in event-queue machinery and
+~10% in MAC frame draws — all of it interpreter overhead around work
+that is trivially batchable.
+
+This module replaces those three hot paths with struct-of-arrays
+equivalents while leaving every piece of *protocol logic* — forwarding,
+queueing, routing trees, failures, observers — in the shared
+:class:`~repro.net.simulation.CollectionSimulation` code:
+
+* :class:`FastArqMac` — a drop-in :class:`~repro.net.mac.ArqMac`
+  replacement that pre-draws each directed link's uniform stream in
+  vectorized numpy blocks and resolves whole ARQ exchanges against the
+  buffered values;
+* :class:`VectorizedEtxSampler` — computes a beacon round's noisy ETX
+  samples for *all* directed edges at once (block normal draws, array
+  loss/ETX arithmetic) and is installed via
+  :meth:`~repro.net.routing.RoutingEngine.set_etx_sampler`;
+* :func:`array_simulator` — a :class:`~repro.net.sim.Simulator` backed
+  by the bucketed :class:`~repro.net.events.CalendarQueue` wheel instead
+  of the global heap.
+
+**Differential-oracle contract.** The event engine stays authoritative:
+for identical seeds the array kernel must reproduce its observable
+stream — packets created, hops delivered, drops, routing churn, RNG
+stream positions — *bit-identically*, the same discipline
+``estimate_scipy`` applies to the batched MLE solver. Every batching
+trick below is therefore paired with the argument for exactness:
+
+* ``Generator.random(n)`` / ``Generator.normal(0, s, n)`` produce the
+  same values *and* the same post-call stream state as ``n`` scalar
+  calls (PCG64 draws are counter-sequential), so block pre-draws replay
+  the oracle's per-edge stream prefix bit-for-bit; surplus buffered
+  values are never observable because each directed edge's stream has
+  exactly one consumer.
+* End-of-exchange times replay the oracle's *sequential* float
+  accumulation (``time += fl(tx + retry)`` per failed attempt) rather
+  than a closed-form multiply, which would round differently.
+* Vectorized ETX arithmetic uses only single IEEE-754 operations
+  (subtract, multiply, maximum, divide) that are bitwise identical to
+  their scalar Python counterparts — but the lognormal noise factor is
+  ``math.exp`` applied per element, because ``np.exp`` is a different
+  (vectorized) implementation and differs from ``math.exp`` in the last
+  ulp for some inputs.
+* Models that cannot be replayed against one buffered uniform per
+  attempt (stateful Gilbert–Elliott chains, ``ack_losses=True``
+  configurations) fall back to the exact scalar path per edge; the
+  per-edge stream granularity makes mixing safe.
+
+The contract is pinned by ``tests/net/test_fastsim_differential.py``
+(field-by-field result equality over a scenario matrix) and by the
+golden fixtures in ``tests/regression/``, which must pass unregenerated
+on both engines.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.net.events import CalendarQueue
+from repro.net.link import Channel, LinkModel
+from repro.net.mac import ArqMac, MacConfig, MacResult
+from repro.net.routing import RoutingEngine
+from repro.net.sim import Simulator
+
+__all__ = ["FastArqMac", "VectorizedEtxSampler", "array_simulator"]
+
+#: Uniform draws buffered per directed edge and refill. ARQ exchanges
+#: consume ~1/(1-loss) draws each, so one refill covers on the order of
+#: a hundred exchanges while keeping cold-edge waste bounded.
+_BLOCK = 256
+
+
+def array_simulator(*, bucket_width: float = 0.01) -> Simulator:
+    """A simulator clocked by the calendar-queue wheel.
+
+    The default bucket width (10 ms) sits between the MAC timescale
+    (5–15 ms per attempt) and the beacon/traffic timescales (seconds),
+    so a bucket holds a handful of events: pushes are O(1) appends and
+    pops compare tuples within one bucket instead of the whole queue.
+    """
+    return Simulator(queue=CalendarQueue(bucket_width=bucket_width))
+
+
+class _EdgePlan:
+    """Buffered fast-path state for one bufferable directed edge."""
+
+    __slots__ = ("rng", "model", "const_threshold", "vals", "pos")
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        model: LinkModel,
+        const_threshold: Optional[float],
+    ):
+        self.rng = rng
+        self.model = model
+        self.const_threshold = const_threshold
+        self.vals: List[float] = []
+        self.pos = 0
+
+
+class FastArqMac:
+    """ARQ exchanges resolved against buffered per-edge uniform blocks.
+
+    Drop-in for :class:`~repro.net.mac.ArqMac`: same constructor shape,
+    same :meth:`send` signature, bit-identical :class:`MacResult` and
+    channel counters for identical seeds.
+
+    An edge is *bufferable* when its link model declares the
+    one-uniform-per-attempt shape by overriding
+    :meth:`LinkModel.uniform_threshold` (Bernoulli, drifting and
+    interfered links). Its exchanges then replay buffered draws against
+    the model's loss threshold without touching ``Channel.transmit``;
+    the realized draw/success counts are folded back in one
+    :meth:`Channel.record_batch` call per exchange. Everything else —
+    stateful Gilbert–Elliott chains, and every edge when ACK frames
+    traverse the lossy reverse link — runs the exact scalar oracle.
+    """
+
+    def __init__(self, channel: Channel, config: Optional[MacConfig] = None):
+        self.channel = channel
+        self.config = config or MacConfig()
+        self._exact = ArqMac(channel, self.config)
+        # Replayed exactly as the oracle accumulates time: one rounded
+        # fl(tx + retry) add per failed attempt, one fl(tx) add on success.
+        self._tx = self.config.tx_time
+        self._step = self.config.tx_time + self.config.retry_interval
+        self._max_attempts = self.config.max_attempts
+        self._plans: Dict[Tuple[int, int], _EdgePlan] = {}
+        if not self.config.ack_losses:
+            for u, v in channel.directed_edges():
+                model = channel.model(u, v)
+                # Override check instead of a probe call: classification
+                # must not advance lazy model state (interferer chains).
+                if type(model).uniform_threshold is LinkModel.uniform_threshold:
+                    continue
+                const = (
+                    model.uniform_threshold(0.0)
+                    if model.time_invariant_loss
+                    else None
+                )
+                self._plans[(u, v)] = _EdgePlan(
+                    channel.link_rng(u, v), model, const
+                )
+
+    @property
+    def bufferable_edges(self) -> int:
+        """Directed edges on the buffered fast path (diagnostics)."""
+        return len(self._plans)
+
+    def send(self, sender: int, receiver: int, start_time: float) -> MacResult:
+        """Run one full ARQ exchange; bit-identical to the oracle's."""
+        plan = self._plans.get((sender, receiver))
+        if plan is None:
+            return self._exact.send(sender, receiver, start_time)
+        vals = plan.vals
+        pos = plan.pos
+        model = plan.model
+        const = plan.const_threshold
+        step = self._step
+        max_attempts = self._max_attempts
+        time = start_time
+        attempts = 0
+        first: Optional[int] = None
+        while attempts < max_attempts:
+            attempts += 1
+            if pos >= len(vals):
+                vals = plan.rng.random(_BLOCK).tolist()
+                plan.vals = vals
+                pos = 0
+            draw = vals[pos]
+            pos += 1
+            if const is not None:
+                threshold = const
+            else:
+                dynamic = model.uniform_threshold(time)
+                # Classification already checked the override; a None here
+                # would mean the model broke the all-or-nothing contract.
+                assert dynamic is not None
+                threshold = dynamic
+            if draw >= threshold:
+                # Perfect-ACK fast path: first reception ends the exchange.
+                first = attempts
+                time += self._tx
+                break
+            time += step
+        plan.pos = pos
+        self.channel.record_batch(
+            sender, receiver, attempts, 1 if first is not None else 0
+        )
+        return MacResult(
+            attempts=attempts,
+            first_received_attempt=first,
+            acked=first is not None,
+            end_time=time,
+        )
+
+
+class VectorizedEtxSampler:
+    """One beacon round's noisy ETX samples for all edges, batched.
+
+    Installed on a :class:`RoutingEngine` via ``set_etx_sampler``; calls
+    are bit-identical to the engine's scalar loop:
+
+    * loss probabilities of time-invariant models are cached once in a
+      struct-of-arrays layout; time-varying models are queried scalar
+      (``math.sin`` and the interferer field keep their exact bits);
+    * reverse-link losses are gathered with a precomputed index map
+      instead of a second round of model calls;
+    * ETX arithmetic (``1 / max(1e-6, (1-l_fwd)(1-l_rev))``) runs as
+      whole-array IEEE-754 ops, bitwise equal to the scalar versions;
+    * noise normals come from one block draw on the same
+      ``("routing", "beacons")`` stream (same values, same post-state as
+      the scalar loop's per-edge draws), exponentiated per element with
+      ``math.exp`` because ``np.exp`` rounds differently in the last ulp.
+    """
+
+    def __init__(self, routing: RoutingEngine):
+        channel = routing.channel
+        edges = list(routing._estimates.keys())
+        index = {edge: i for i, edge in enumerate(edges)}
+        self._rev = np.asarray(
+            [index[(v, u)] for (u, v) in edges], dtype=np.intp
+        )
+        models = [channel.model(u, v) for (u, v) in edges]
+        self._static_loss = np.zeros(len(edges), dtype=np.float64)
+        self._dynamic: List[Tuple[int, LinkModel]] = []
+        for i, model in enumerate(models):
+            if model.time_invariant_loss:
+                self._static_loss[i] = model.true_loss(0.0)
+            else:
+                self._dynamic.append((i, model))
+        self._rng = routing._rng
+        self._sigma = routing.config.etx_noise_std
+
+    def __call__(self, time: float) -> List[float]:
+        if self._dynamic:
+            loss = self._static_loss.copy()
+            for i, model in self._dynamic:
+                loss[i] = model.true_loss(time)
+        else:
+            loss = self._static_loss
+        success = (1.0 - loss) * (1.0 - loss[self._rev])
+        samples = 1.0 / np.maximum(1e-6, success)
+        if self._sigma > 0.0:
+            normals = self._rng.normal(0.0, self._sigma, len(samples))
+            noise = np.asarray(
+                [math.exp(x) for x in normals.tolist()], dtype=np.float64
+            )
+            samples = samples * noise
+        result: List[float] = samples.tolist()
+        return result

@@ -43,9 +43,27 @@ __all__ = [
 class LinkModel(ABC):
     """Per-directed-link frame loss process."""
 
+    #: True when ``true_loss`` does not depend on ``time`` — lets the
+    #: array engine's vectorized paths cache per-link loss arrays.
+    time_invariant_loss: bool = False
+
     @abstractmethod
     def sample(self, rng: np.random.Generator, time: float) -> bool:
         """Draw one frame transmission at ``time``; True = received."""
+
+    def uniform_threshold(self, time: float) -> Optional[float]:
+        """Loss threshold ``p`` such that ``sample`` is exactly
+        ``rng.random() >= p`` at ``time``, or None when the model draws
+        differently (extra draws, internal state).
+
+        The array kernel buffers each link's uniform stream in blocks and
+        replays exchanges against this threshold; returning a value here
+        is a *bit-identity contract*: the model's ``sample`` must consume
+        exactly one uniform per call and compare it against the returned
+        threshold. Stateful models (Gilbert–Elliott) return None and keep
+        the scalar draw path.
+        """
+        return None
 
     @abstractmethod
     def true_loss(self, time: float) -> float:
@@ -64,11 +82,16 @@ class LinkModel(ABC):
 class BernoulliLink(LinkModel):
     """Independent identically-distributed loss with fixed probability."""
 
+    time_invariant_loss = True
+
     def __init__(self, loss: float):
         self.loss = check_probability(loss, "loss")
 
     def sample(self, rng: np.random.Generator, time: float) -> bool:
         return bool(rng.random() >= self.loss)
+
+    def uniform_threshold(self, time: float) -> Optional[float]:
+        return self.loss
 
     def true_loss(self, time: float) -> float:
         return self.loss
@@ -89,6 +112,9 @@ class GilbertElliottLink(LinkModel):
     recover); burstiness is controlled by the transition probabilities
     (small ``p_good_to_bad``/``p_bad_to_good`` = long bursts).
     """
+
+    # The chain state is hidden but the stationary loss is constant.
+    time_invariant_loss = True
 
     def __init__(
         self,
@@ -169,6 +195,9 @@ class DriftingLink(LinkModel):
 
     def sample(self, rng: np.random.Generator, time: float) -> bool:
         return bool(rng.random() >= self.true_loss(time))
+
+    def uniform_threshold(self, time: float) -> Optional[float]:
+        return self.true_loss(time)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -355,6 +384,29 @@ class Channel:
         if ok:
             self._successes[key] += 1
         return ok
+
+    def link_rng(self, sender: int, receiver: int) -> np.random.Generator:
+        """The per-edge RNG substream feeding this directed link's draws.
+
+        Exposed for the array kernel, which pre-draws uniform blocks from
+        the same stream :meth:`transmit` would consume scalar-by-scalar.
+        Each directed edge has exactly one consumer, so buffered draws
+        replay the oracle's stream prefix bit-for-bit.
+        """
+        return self._rng.get("link", sender, receiver)
+
+    def record_batch(
+        self, sender: int, receiver: int, draws: int, successes: int
+    ) -> None:
+        """Fold externally-simulated frame outcomes into the link counters.
+
+        The array kernel resolves whole ARQ exchanges against buffered
+        draws without going through :meth:`transmit`; this keeps
+        :meth:`draws` / :meth:`empirical_loss` identical to the oracle's.
+        """
+        key = (sender, receiver)
+        self._draws[key] += draws
+        self._successes[key] += successes
 
     def true_loss(self, sender: int, receiver: int, time: float) -> float:
         return self._models[(sender, receiver)].true_loss(time)

@@ -20,7 +20,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.net.link import Channel
 from repro.net.sim import Simulator
@@ -114,6 +114,7 @@ class RoutingEngine:
         self._alive: Dict[int, bool] = {n: True for n in topology.nodes}
         self.parent_change_log: List[ParentChange] = []
         self._beacon_rounds = 0
+        self._etx_sampler: Optional[Callable[[float], Sequence[float]]] = None
         # Warm start: seed estimates with the true ETX at t=0 (as a network
         # that has been running its estimator for a while would have).
         for u, v in topology.directed_edges():
@@ -132,14 +133,37 @@ class RoutingEngine:
     def estimated_etx(self, u: int, v: int) -> float:
         return self._estimates[(u, v)].etx
 
+    def set_etx_sampler(
+        self, sampler: Optional[Callable[[float], Sequence[float]]]
+    ) -> None:
+        """Install a replacement ETX-sampling kernel for beacon rounds.
+
+        ``sampler(time)`` must return one sample per directed edge, in
+        ``self._estimates`` iteration order, drawing its noise from the
+        same ``("routing", "beacons")`` stream the scalar loop uses — the
+        array engine's vectorized sampler is bit-identical by contract
+        (pinned by tests/net/test_fastsim_differential.py).
+        """
+        self._etx_sampler = sampler
+
     def beacon_round(self, time: float) -> None:
         """Sample every link's ETX (noisily), update EWMAs, rebuild the tree."""
         sigma = self.config.etx_noise_std
-        for (u, v), est in self._estimates.items():
-            sample = self._true_etx(u, v, time)
-            if sigma > 0:
-                sample *= math.exp(float(self._rng.normal(0.0, sigma)))
-            est.update(sample, self.config.etx_alpha)
+        alpha = self.config.etx_alpha
+        if self._etx_sampler is not None:
+            # Inlined _LinkEstimate.update (same arithmetic, same branch):
+            # one beacon round touches every edge, so the method-call
+            # overhead is the dominant cost left after vectorized sampling.
+            decay = 1.0 - alpha
+            for est, sample in zip(self._estimates.values(), self._etx_sampler(time)):
+                est.etx = sample if est.samples == 0 else decay * est.etx + alpha * sample
+                est.samples += 1
+        else:
+            for (u, v), est in self._estimates.items():
+                sample = self._true_etx(u, v, time)
+                if sigma > 0:
+                    sample *= math.exp(float(self._rng.normal(0.0, sigma)))
+                est.update(sample, alpha)
         self._beacon_rounds += 1
         self._recompute_tree(time)
 

@@ -4,22 +4,31 @@
 schedule callbacks with :meth:`Simulator.at` / :meth:`Simulator.after`,
 and the driver advances the simulation with :meth:`run_until` /
 :meth:`run`. Time is in seconds (float); the clock never moves backwards.
+
+The queue is pluggable: the default is the reference
+:class:`~repro.net.events.EventQueue` heap; the array engine passes a
+:class:`~repro.net.events.CalendarQueue` wheel. Both obey the same
+``(time, insertion)`` ordering contract, so the choice never changes
+which event fires next — only how much the queue costs.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Union
 
-from repro.net.events import EventQueue, ScheduledEvent
+from repro.net.events import CalendarQueue, EventQueue, ScheduledEvent
 
 __all__ = ["Simulator"]
+
+#: Queue implementations the simulator accepts.
+QueueLike = Union[EventQueue, CalendarQueue]
 
 
 class Simulator:
     """Event-driven simulation clock and scheduler."""
 
-    def __init__(self) -> None:
-        self._queue = EventQueue()
+    def __init__(self, queue: Optional[QueueLike] = None) -> None:
+        self._queue: QueueLike = queue if queue is not None else EventQueue()
         self._now = 0.0
         self._events_processed = 0
         self._running = False
@@ -39,19 +48,23 @@ class Simulator:
 
     # -- scheduling -------------------------------------------------------------
 
-    def at(self, time: float, callback: Callable[[], Any]) -> ScheduledEvent:
-        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+    def at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute ``time`` (>= now)."""
         if time < self._now:
             raise ValueError(
                 f"cannot schedule in the past: t={time} < now={self._now}"
             )
-        return self._queue.push(time, callback)
+        return self._queue.push(time, callback, *args)
 
-    def after(self, delay: float, callback: Callable[[], Any]) -> ScheduledEvent:
-        """Schedule ``callback`` ``delay`` seconds from now."""
+    def after(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
-        return self._queue.push(self._now + delay, callback)
+        return self._queue.push(self._now + delay, callback, *args)
 
     def every(
         self,
@@ -87,7 +100,7 @@ class Simulator:
             return False
         self._now = event.time
         self._events_processed += 1
-        event.callback()
+        event.fire()
         return True
 
     def run_until(self, end_time: float) -> None:

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
 from repro.net.failures import FailurePlan
+from repro.net.fastsim import FastArqMac, VectorizedEtxSampler, array_simulator
 from repro.net.link import Channel, LinkAssigner, uniform_loss_assigner
 from repro.net.mac import ArqMac, MacConfig, MacResult
 from repro.net.packet import Packet
@@ -111,6 +112,11 @@ class SimulationConfig:
     forward_delay: float = 0.002
     #: Per-node transmit-queue capacity; arrivals beyond it are tail-dropped.
     queue_capacity: int = 16
+    #: Simulation kernel: "event" is the reference object-per-event engine,
+    #: "array" the vectorized kernel (:mod:`repro.net.fastsim`). The two
+    #: produce bit-identical observable streams for identical seeds; the
+    #: event engine is the differential oracle pinning the array one.
+    engine: str = "event"
     mac: MacConfig = field(default_factory=MacConfig)
     routing: RoutingConfig = field(default_factory=RoutingConfig)
 
@@ -125,6 +131,10 @@ class SimulationConfig:
             raise ValueError("forward_delay must be >= 0")
         if self.queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
+        if self.engine not in ("event", "array"):
+            raise ValueError(
+                f"engine must be 'event' or 'array', got {self.engine!r}"
+            )
 
 
 @dataclass
@@ -179,9 +189,16 @@ class CollectionSimulation:
             assigner = link_assigner or uniform_loss_assigner(0.05, 0.3)
             channel = Channel.build(topology, assigner, self.rng)
         self.channel = channel
-        self.sim = Simulator()
+        use_array = self.config.engine == "array"
+        self.sim = array_simulator() if use_array else Simulator()
         self.routing = RoutingEngine(topology, channel, self.rng, self.config.routing)
-        self.mac = ArqMac(channel, self.config.mac)
+        self.mac: Union[ArqMac, FastArqMac] = ArqMac(channel, self.config.mac)
+        if use_array:
+            # Swap the two batched hot paths in; all protocol logic below
+            # is engine-agnostic, which is what keeps the observable
+            # streams bit-identical across engines (see net/fastsim.py).
+            self.mac = FastArqMac(channel, self.config.mac)
+            self.routing.set_etx_sampler(VectorizedEtxSampler(self.routing))
         self.ground_truth = GroundTruth(channel)
         self.observers: List[CollectionObserver] = list(observers)
         self.packets: List[Packet] = []

@@ -62,6 +62,22 @@ MATRIX = [
         dynamic_rgg_scenario(16, churn_noise=0.6, duration=60.0, traffic_period=4.0),
         (dophy_approach(), tree_ratio_approach()),
     ),
+    # The array simulation kernel rides the same guarantee: workers and
+    # cache keys must treat engine="array" like any other config knob.
+    (
+        "line_idealized_array_engine",
+        line_scenario(5, duration=60.0, traffic_period=3.0).with_config(
+            engine="array"
+        ),
+        (dophy_approach(), path_measurement_approach(), tree_ratio_approach()),
+    ),
+    (
+        "dynamic_rgg_churn_array_engine",
+        dynamic_rgg_scenario(
+            16, churn_noise=0.6, duration=60.0, traffic_period=4.0
+        ).with_config(engine="array"),
+        (dophy_approach(), tree_ratio_approach()),
+    ),
 ]
 
 IDS = [m[0] for m in MATRIX]
@@ -148,6 +164,21 @@ class TestParallelEqualsSerial:
         assert first.failure_counts == second.failure_counts
         assert "decode_failures" in first.failure_counts
 
+    def test_array_engine_outcomes_equal_event_engine(self):
+        """Engine choice is *not* allowed to be a config knob that changes
+        results: the array kernel must reproduce the event oracle's
+        outcomes field-by-field through the whole exec pipeline (the
+        sharp version lives in tests/net/test_fastsim_differential.py)."""
+        scenario = dynamic_rgg_scenario(
+            16, churn_noise=0.6, duration=60.0, traffic_period=4.0
+        )
+        approaches = (dophy_approach(), tree_ratio_approach())
+        event = ParallelRunner(jobs=1).run_comparisons(_tasks(scenario, approaches))
+        array = ParallelRunner(jobs=JOBS).run_comparisons(
+            _tasks(scenario.with_config(engine="array"), approaches)
+        )
+        assert_outcomes_identical(event, array, "array engine vs event oracle")
+
     @pytest.mark.parametrize("label,scenario,approaches", MATRIX[:2], ids=IDS[:2])
     def test_run_replicated_tables_identical(self, label, scenario, approaches):
         serial = run_replicated(
@@ -205,6 +236,14 @@ class TestCacheReplay:
                 approaches=(
                     dophy_approach(config=DophyConfig(aggregation_threshold=4)),
                 ),
+                seed=1,
+            ),
+            # Engine selection is part of the cache key (results are
+            # identical across engines, but a stale-key collision would
+            # mask an engine bug; recompute is the conservative choice).
+            ComparisonTask(
+                scenario=scenario.with_config(engine="array"),
+                approaches=(dophy_approach(),),
                 seed=1,
             ),
         ]:

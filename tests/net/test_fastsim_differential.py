@@ -1,0 +1,199 @@
+"""Differential oracle: the array engine must BE the event engine.
+
+``engine="array"`` (net/fastsim.py) replaces the simulator's three hot
+paths — event queue, MAC frame draws, beacon ETX sampling — with batched
+kernels, under the contract that for an identical seed the *observable
+stream is bit-identical* to the reference event engine. This suite is
+the contract's enforcement: every scenario family in the matrix (tree
+and mesh topologies × link classes × node failures × packet-fault
+injection) runs once per engine and is compared field by field —
+packets and their per-hop traces, ground-truth link usage, routing
+churn and ETX state, per-link RNG draw counts, and the downstream
+``PerLinkEstimator`` evidence a Dophy sink accumulates.
+
+Equality here is exact (``==`` on floats), not approximate: the array
+engine earns its speed purely from batching, never from reordering or
+re-rounding. Tolerances would hide exactly the class of bug this suite
+exists to catch.
+"""
+
+import pytest
+
+from repro.core import DophyConfig, DophySystem
+from repro.net.faults import FaultPlan, SinkOutage
+from repro.net.fastsim import FastArqMac
+from repro.workloads.scenarios import (
+    bursty_rgg_scenario,
+    drifting_line_scenario,
+    drifting_rgg_scenario,
+    dynamic_rgg_scenario,
+    failing_rgg_scenario,
+    interference_rgg_scenario,
+    line_scenario,
+    static_grid_scenario,
+)
+
+#: (scenario factory, kwargs) — tree and mesh topologies crossed with
+#: every link-model class the simulator ships, plus node failures.
+#: Durations are trimmed so the whole matrix stays a fast tier-1 suite.
+MATRIX = [
+    ("line_tree", line_scenario, {"num_nodes": 6}),
+    ("grid_mesh", static_grid_scenario, {"rows": 4, "cols": 4}),
+    ("rgg_dynamic", dynamic_rgg_scenario, {"num_nodes": 16}),
+    ("rgg_bursty_gilbert_elliott", bursty_rgg_scenario, {"num_nodes": 12}),
+    ("rgg_drifting", drifting_rgg_scenario, {"num_nodes": 12}),
+    ("line_drifting", drifting_line_scenario, {"num_nodes": 6}),
+    ("rgg_node_failures", failing_rgg_scenario, {"num_nodes": 14}),
+    ("rgg_interference", interference_rgg_scenario, {"num_nodes": 14}),
+]
+
+SEEDS = (13, 1107)
+
+
+def _run(factory, kwargs, engine, seed, observer_factory=None):
+    scenario = factory(**kwargs).with_config(duration=60.0, engine=engine)
+    observers = [observer_factory()] if observer_factory else []
+    simulation = scenario.make_simulation(seed, observers=observers)
+    result = simulation.run()
+    return result, observers[0] if observers else None
+
+
+def _assert_results_identical(event, array):
+    # Packet streams: dataclass equality covers origin/seqno/timestamps,
+    # drop reasons, and every HopRecord (sender, receiver, attempts,
+    # completion time, success) bit for bit, in creation order.
+    assert array.packets == event.packets
+    assert array.events_processed == event.events_processed
+    assert array.duration == event.duration
+
+    # Ground truth: per-link exchange/frame/reception tallies and the
+    # full per-exchange attempt-number samples.
+    assert dict(array.ground_truth.link_usage) == dict(event.ground_truth.link_usage)
+    assert array.ground_truth.packets_generated == event.ground_truth.packets_generated
+    assert array.ground_truth.packets_delivered == event.ground_truth.packets_delivered
+    assert dict(array.ground_truth.drop_reasons) == dict(event.ground_truth.drop_reasons)
+
+    # Routing: identical churn history, final tree, and EWMA ETX state.
+    assert array.routing.parent_change_log == event.routing.parent_change_log
+    assert array.routing.tree_snapshot() == event.routing.tree_snapshot()
+    assert array.routing.beacon_rounds == event.routing.beacon_rounds
+    for edge in event.topology.directed_edges():
+        assert array.routing.estimated_etx(*edge) == event.routing.estimated_etx(*edge)
+
+    # Channel: the engines consumed the per-edge RNG streams identically.
+    for edge in event.topology.directed_edges():
+        assert array.channel.draws(*edge) == event.channel.draws(*edge)
+        assert array.channel.empirical_loss(*edge) == event.channel.empirical_loss(*edge)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "factory,kwargs", [(f, k) for _, f, k in MATRIX], ids=[m[0] for m in MATRIX]
+)
+def test_engines_bit_identical(factory, kwargs, seed):
+    event, _ = _run(factory, kwargs, "event", seed)
+    array, _ = _run(factory, kwargs, "array", seed)
+    _assert_results_identical(event, array)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_dophy_estimator_evidence_identical(seed):
+    """The evidence a Dophy sink decodes — and the MLE it solves — is a
+    pure function of the observable stream, so it must match too."""
+    event, dophy_event = _run(
+        dynamic_rgg_scenario, {"num_nodes": 16}, "event", seed, DophySystem
+    )
+    array, dophy_array = _run(
+        dynamic_rgg_scenario, {"num_nodes": 16}, "array", seed, DophySystem
+    )
+    _assert_results_identical(event, array)
+    report_event = dophy_event.report()
+    report_array = dophy_array.report()
+    assert report_array == report_event
+    links = dophy_event.estimator.links()
+    assert dophy_array.estimator.links() == links
+    for link in links:
+        a = dophy_array.estimator.estimate(link)
+        b = dophy_event.estimator.estimate(link)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.loss == b.loss
+            assert a.n_samples == b.n_samples
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fault_injection_identical(seed):
+    """Packet-fault injection (bit corruption, truncation, duplicates,
+    sink outages) draws from its own streams, so it perturbs neither
+    engine — and its observable effects must coincide."""
+
+    def faulty_dophy():
+        return DophySystem(
+            DophyConfig(),
+            faults=FaultPlan(
+                seed=seed,
+                corruption_rate=0.05,
+                truncation_rate=0.05,
+                duplication_rate=0.05,
+                sink_outages=[SinkOutage(20.0, 30.0)],
+            ),
+        )
+
+    event, dophy_event = _run(
+        dynamic_rgg_scenario, {"num_nodes": 16}, "event", seed, faulty_dophy
+    )
+    array, dophy_array = _run(
+        dynamic_rgg_scenario, {"num_nodes": 16}, "array", seed, faulty_dophy
+    )
+    _assert_results_identical(event, array)
+    report_event = dophy_event.report()
+    report_array = dophy_array.report()
+    assert report_array == report_event
+    assert report_event.decode_failures + report_event.sink_outage_discards > 0
+
+
+def test_gilbert_elliott_edges_use_exact_fallback():
+    """Stateful chains cannot be replayed against one buffered uniform
+    per attempt; FastArqMac must route every GE edge through the scalar
+    oracle (bit-identity would silently break otherwise)."""
+    simulation = (
+        bursty_rgg_scenario(num_nodes=12)
+        .with_config(duration=60.0, engine="array")
+        .make_simulation(seed=3)
+    )
+    assert isinstance(simulation.mac, FastArqMac)
+    assert simulation.mac.bufferable_edges == 0
+
+
+def test_ack_losses_fall_back_entirely():
+    """With lossy ACKs the reverse link's draws interleave into the
+    exchange; the array engine keeps correctness by running the oracle
+    MAC wholesale — and stays bit-identical."""
+    from repro.net.mac import MacConfig
+
+    base = dynamic_rgg_scenario(num_nodes=12).with_config(
+        duration=60.0, mac=MacConfig(ack_losses=True)
+    )
+    event = base.make_simulation(seed=5).run()
+    sim_array = base.with_config(engine="array").make_simulation(seed=5)
+    assert isinstance(sim_array.mac, FastArqMac)
+    assert sim_array.mac.bufferable_edges == 0
+    array = sim_array.run()
+    _assert_results_identical(event, array)
+
+
+def test_bufferable_classification():
+    """Bernoulli / drifting / interfered links ride the buffered path."""
+    for factory, kwargs in [
+        (dynamic_rgg_scenario, {"num_nodes": 12}),
+        (drifting_rgg_scenario, {"num_nodes": 12}),
+        (interference_rgg_scenario, {"num_nodes": 12}),
+    ]:
+        simulation = (
+            factory(**kwargs)
+            .with_config(duration=60.0, engine="array")
+            .make_simulation(seed=3)
+        )
+        assert isinstance(simulation.mac, FastArqMac)
+        edges = len(list(simulation.topology.directed_edges()))
+        assert simulation.mac.bufferable_edges == edges
