@@ -41,7 +41,7 @@ class PeriodicEvaluator(NullObserver):
     """Scores registered estimate sources on a fixed schedule."""
 
     def __init__(self, period: float, *, truth_kind: str = "empirical",
-                 min_support: int = 0):
+                 min_support: int = 0) -> None:
         check_positive(period, "period")
         self.period = period
         self.truth_kind = truth_kind

@@ -20,10 +20,12 @@ log ``serve`` writes.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core import DophyConfig, DophySystem
+from repro.sanitize import hooks as _sanitize_hooks
 from repro.workloads import (
     ApproachSpec,
     Scenario,
@@ -677,16 +679,36 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _dump_sanitizer_fingerprint() -> None:
+    """Write the process-global sanitizer's fingerprint if requested.
+
+    With ``REPRO_SANITIZE=1`` the whole CLI run is traced (activation
+    happens at import, see :mod:`repro.sanitize.hooks`); setting
+    ``REPRO_SANITIZE_OUT=/path/fp.json`` saves the trace for offline
+    diffing with ``python -m repro.sanitize diff``.
+    """
+    sanitizer = _sanitize_hooks.ACTIVE
+    out = os.environ.get("REPRO_SANITIZE_OUT")
+    if sanitizer is None or not out:
+        return
+    sanitizer.fingerprint().save(out)
+    print(f"sanitizer fingerprint written to {out}", file=sys.stderr)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    _sanitize_hooks.activate_from_env()
     args = build_parser().parse_args(argv)
-    if args.command == "list-scenarios":
-        return _cmd_list_scenarios(args)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "compare":
-        return _cmd_compare(args)
-    if args.command == "serve":
-        return _cmd_serve(args)
-    if args.command == "tail":
-        return _cmd_tail(args)
+    try:
+        if args.command == "list-scenarios":
+            return _cmd_list_scenarios(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "tail":
+            return _cmd_tail(args)
+    finally:
+        _dump_sanitizer_fingerprint()
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

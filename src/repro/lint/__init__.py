@@ -28,19 +28,55 @@ Rules (see DESIGN.md §"Static guarantees" for the full rationale):
   (frozen) dataclass fields: shared mutable state breaks both
   replicate independence and hashability.
 
+The flow-sensitive rules (v2) ride on a project-wide symbol table and
+call graph (:mod:`repro.lint.callgraph`) plus an intraprocedural
+dataflow pass (:mod:`repro.lint.dataflow`) — ``lint_paths`` parses the
+whole invocation into one project, so these see cross-module edges:
+
+* **RPL006** — RNG-stream aliasing: a module-level stream consumed by
+  more than one function couples the consumers' draw orders, so
+  engine/fallback parity cannot hold; derive one substream per
+  consumer (:func:`repro.utils.rng.derive_rng`).
+* **RPL007** — RNG draws or float accumulation inside iteration over an
+  unordered value (``set``/``frozenset``/``dict.keys``), including
+  unordered arguments passed — possibly from another file — to a
+  function whose parameter is iterated while drawing.
+* **RPL008** — durability-effect ordering in ``stream/``: the WAL
+  append must dominate the estimator apply, and the manifest write must
+  dominate the checkpoint write it indexes.
+* **RPL009** — ``except`` handlers in ``stream/``/``exec`` paths that
+  swallow evidence without counting it: accounting (drop stats, retry
+  budgets, WAL replay) must balance.
+
+Every RPL006–009 fixture has a runtime twin: the sanitizer
+(:mod:`repro.sanitize`, ``REPRO_SANITIZE=1``) catches the same
+violation as a divergent fingerprint or broken effect protocol when the
+fixture actually runs (``tests/sanitize/test_rule_runtime_pin.py``).
+
 Violations are suppressible per line::
 
     t = time.monotonic()  # reprolint: disable=RPL002
     # reprolint: disable-next-line=RPL001
     rng = np.random.default_rng()
 
+(``disable-next-line`` covers the next *logical statement* — a
+multi-line call, or a decorated ``def``'s decorators and signature.)
+
 Run as ``python -m repro.lint src benchmarks`` (``--format json`` for
 machine-readable output); exit status is 0 when clean, 1 when any
-violation is reported, 2 on usage or parse errors.
+violation is reported, 2 on usage or parse errors. Legacy trees are
+adopted with a ratchet: ``--update-baseline FILE`` records accepted
+per-(path, rule) counts and ``--baseline FILE`` fails only on findings
+beyond them (:mod:`repro.lint.baseline`).
 """
 
 from __future__ import annotations
 
+from repro.lint.baseline import (
+    filter_with_baseline,
+    load_baseline,
+    save_baseline,
+)
 from repro.lint.engine import (
     LintError,
     Violation,
@@ -55,7 +91,10 @@ __all__ = [
     "RULE_DOCS",
     "LintError",
     "Violation",
+    "filter_with_baseline",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_baseline",
+    "save_baseline",
 ]

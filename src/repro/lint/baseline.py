@@ -1,0 +1,117 @@
+"""Baseline support: adopt reprolint on a legacy tree without churn.
+
+A baseline file records, per ``(path, rule)``, how many violations are
+*accepted* — typically the pre-existing findings of a tree the linter is
+being turned on for (``tests/`` keeps its intentionally-bad rule
+fixtures, for instance). ``--baseline FILE`` then subtracts the
+recorded allowance: a scan fails only when some file accumulates *more*
+violations of a rule than the baseline grants, and only the overflow is
+reported. The ratchet is one-way — fixing a baselined violation never
+breaks the build, introducing a new one is flagged immediately.
+
+Counts are keyed by ``(posix path, rule)`` rather than exact
+``(line, message)`` so unrelated edits that shift line numbers do not
+invalidate the baseline; the trade-off (a new violation of an already-
+baselined rule in the same file masks a fixed old one) is the standard
+one and keeps the file diff-stable.
+
+``--update-baseline FILE`` rewrites the file from the current scan.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import PurePath
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.engine import LintError
+from repro.lint.violation import Violation
+
+__all__ = [
+    "FORMAT_VERSION",
+    "baseline_from_violations",
+    "filter_with_baseline",
+    "load_baseline",
+    "save_baseline",
+]
+
+FORMAT_VERSION = 1
+
+#: ``{posix path: {rule: accepted count}}``
+Baseline = Dict[str, Dict[str, int]]
+
+
+def _norm(path: str) -> str:
+    return PurePath(path).as_posix()
+
+
+def baseline_from_violations(violations: Sequence[Violation]) -> Baseline:
+    baseline: Baseline = {}
+    for violation in violations:
+        per_file = baseline.setdefault(_norm(violation.path), {})
+        per_file[violation.rule] = per_file.get(violation.rule, 0) + 1
+    return baseline
+
+
+def filter_with_baseline(
+    violations: Sequence[Violation], baseline: Baseline
+) -> Tuple[List[Violation], int]:
+    """Split a scan against its baseline.
+
+    Returns ``(new_violations, suppressed_count)``. Within one
+    ``(path, rule)`` bucket the allowance is spent on the earliest
+    violations (source order), so the reported overflow points at the
+    bottom-most findings — most likely the freshly added ones.
+    """
+    spent: Dict[Tuple[str, str], int] = {}
+    fresh: List[Violation] = []
+    suppressed = 0
+    for violation in sorted(violations):
+        key = (_norm(violation.path), violation.rule)
+        allowed = baseline.get(key[0], {}).get(key[1], 0)
+        used = spent.get(key, 0)
+        if used < allowed:
+            spent[key] = used + 1
+            suppressed += 1
+        else:
+            fresh.append(violation)
+    return fresh, suppressed
+
+
+def load_baseline(path: str) -> Baseline:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != FORMAT_VERSION:
+        raise LintError(
+            f"baseline {path}: unsupported format "
+            f"(expected version {FORMAT_VERSION})"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, dict):
+        raise LintError(f"baseline {path}: missing `entries` mapping")
+    baseline: Baseline = {}
+    for file_path, rules in entries.items():
+        if not isinstance(rules, dict):
+            raise LintError(f"baseline {path}: entry for {file_path!r} is not a mapping")
+        baseline[_norm(str(file_path))] = {
+            str(rule): int(count) for rule, count in rules.items()
+        }
+    return baseline
+
+
+def save_baseline(path: str, baseline: Baseline) -> None:
+    payload = {
+        "version": FORMAT_VERSION,
+        "entries": {
+            file_path: dict(sorted(rules.items()))
+            for file_path, rules in sorted(baseline.items())
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

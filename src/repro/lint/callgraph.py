@@ -1,0 +1,347 @@
+"""Project-wide symbol table and call graph for flow-sensitive rules.
+
+The per-file rules (RPL001–005) are deliberately syntactic; the
+determinism properties RPL006–009 protect are not.  Whether two
+functions share one RNG stream, or a WAL append *dominates* the
+estimator apply it guards, is a property of the whole project, so the
+engine parses every file once into a :class:`Project` — a light symbol
+table plus a best-effort call graph — and hands it to the rules via
+:class:`~repro.lint.rules.LintContext`.
+
+Resolution is intentionally pragmatic, tuned to this repo's idioms
+rather than full type inference:
+
+* module-level functions and classes are indexed under dotted qualnames
+  (``repro.stream.shard.ShardWorker.log``);
+* ``from x import y`` / ``import x as y`` aliases resolve through the
+  same :class:`_Imports` tracker the syntactic rules use;
+* ``self.attr`` types are inferred from ``self.attr = ClassName(...)``
+  assignments anywhere in the class body, so ``self.wal.append(...)``
+  resolves through the attribute to ``WriteAheadLog.append``;
+* local variables assigned from a constructor call (``w = Worker(...)``)
+  or annotated with a class name carry that type inside the function.
+
+Anything unresolved keeps its bare attribute name (``CallSite.attr``)
+so rules can fall back to curated name matches where that is safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.lint.rules import _Imports
+
+__all__ = ["CallSite", "FunctionInfo", "ModuleInfo", "Project", "module_name_for"]
+
+
+def module_name_for(path: Union[str, Path]) -> str:
+    """Best-effort dotted module name for a source path.
+
+    ``src/repro/stream/sink.py`` → ``repro.stream.sink``;
+    ``tests/lint/fixtures/rpl006_bad.py`` → ``tests.lint.fixtures.rpl006_bad``.
+    Non-path display names (``<string>``) hash to themselves so
+    single-source linting still gets a stable, unique module identity.
+    """
+    text = str(path)
+    if text.startswith("<"):
+        return text.strip("<>") or "module"
+    p = Path(text)
+    parts = list(p.parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    # Strip a leading source root so in-tree and installed spellings agree.
+    while parts and parts[0] in {"src", ".", ".."}:
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part) or "module"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body.
+
+    ``target`` is the resolved dotted callee (project-internal qualname
+    or imported dotted path) when resolution succeeded; ``attr`` is the
+    bare attribute/function name, always present, for curated fallback
+    matching.
+    """
+
+    node: ast.Call
+    target: Optional[str]
+    attr: str
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with its resolved outgoing edges."""
+
+    qualname: str  # dotted: "<module>.<func>" or "<module>.<Class>.<method>"
+    module: "ModuleInfo"
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    class_name: Optional[str] = None
+    calls: List[CallSite] = field(default_factory=list)
+    #: module-level globals this function reads: (module name, global name).
+    global_reads: Set[Tuple[str, str]] = field(default_factory=set)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def statements(self) -> Sequence[ast.stmt]:
+        """Top-level statements of the body (for per-statement effects)."""
+        return self.node.body
+
+    def calls_in(self, stmt: ast.stmt) -> Iterator[CallSite]:
+        """Call sites lexically inside one statement of this function."""
+        nested = {
+            id(sub)
+            for child in ast.walk(stmt)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+            for sub in ast.walk(child)
+        }
+        wanted = {
+            id(node)
+            for node in ast.walk(stmt)
+            if isinstance(node, ast.Call) and id(node) not in nested
+        }
+        for site in self.calls:
+            if id(site.node) in wanted:
+                yield site
+
+
+class ModuleInfo:
+    """Symbol table for one parsed module."""
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.Module,
+        name: Optional[str] = None,
+    ):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.name = name if name is not None else module_name_for(path)
+        self.imports = _Imports.collect(tree)
+        self.functions: Dict[str, FunctionInfo] = {}  # local qualname -> info
+        self.classes: Dict[str, ast.ClassDef] = {}
+        #: (class name, attribute) -> dotted class name of the value.
+        self.attr_types: Dict[Tuple[str, str], str] = {}
+        #: module-level assigned names -> the value expression.
+        self.module_assigns: Dict[str, ast.expr] = {}
+        self._index()
+
+    # -- construction ---------------------------------------------------
+
+    def _index(self) -> None:
+        for stmt in self.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    qualname=f"{self.name}.{stmt.name}", module=self, node=stmt
+                )
+                self.functions[stmt.name] = info
+            elif isinstance(stmt, ast.ClassDef):
+                self.classes[stmt.name] = stmt
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        local = f"{stmt.name}.{sub.name}"
+                        self.functions[local] = FunctionInfo(
+                            qualname=f"{self.name}.{local}",
+                            module=self,
+                            node=sub,
+                            class_name=stmt.name,
+                        )
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.module_assigns[target.id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    self.module_assigns[stmt.target.id] = stmt.value
+        for class_name, node in self.classes.items():
+            self._infer_attr_types(class_name, node)
+
+    def class_dotted(self, local_name: str) -> Optional[str]:
+        """Dotted name of a class visible under ``local_name`` here."""
+        if local_name in self.classes:
+            return f"{self.name}.{local_name}"
+        if local_name in self.imports.names:
+            mod, orig = self.imports.names[local_name]
+            return f"{mod}.{orig}"
+        return None
+
+    def _infer_attr_types(self, class_name: str, node: ast.ClassDef) -> None:
+        for method in node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for sub in ast.walk(method):
+                if not isinstance(sub, ast.Assign) or not isinstance(
+                    sub.value, ast.Call
+                ):
+                    continue
+                callee = sub.value.func
+                if not isinstance(callee, ast.Name):
+                    continue
+                dotted = self.class_dotted(callee.id)
+                if dotted is None:
+                    continue
+                for target in sub.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        self.attr_types[(class_name, target.attr)] = dotted
+
+
+class Project:
+    """All modules under analysis, with call edges resolved across them."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]):
+        self.modules: Dict[str, ModuleInfo] = {m.name: m for m in modules}
+        self.functions: Dict[str, FunctionInfo] = {}
+        for mod in self.modules.values():
+            for info in mod.functions.values():
+                self.functions[info.qualname] = info
+        for mod in self.modules.values():
+            for info in mod.functions.values():
+                self._link(info)
+
+    @classmethod
+    def build(cls, sources: Sequence[Tuple[str, str, ast.Module]]) -> "Project":
+        """Build from ``(display path, source text, parsed tree)`` triples."""
+        modules: List[ModuleInfo] = []
+        taken: Set[str] = set()
+        for path, text, tree in sources:
+            name = module_name_for(path)
+            while name in taken:  # duplicate display names must not shadow
+                name += "_"
+            taken.add(name)
+            modules.append(ModuleInfo(path, text, tree, name=name))
+        return cls(modules)
+
+    # -- call/global-read edge construction -----------------------------
+
+    def _link(self, info: FunctionInfo) -> None:
+        mod = info.module
+        var_types = self._local_types(info)
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                target = self._resolve_call(node.func, info, var_types)
+                attr = self._bare_name(node.func)
+                info.calls.append(CallSite(node=node, target=target, attr=attr))
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id in mod.module_assigns:
+                    info.global_reads.add((mod.name, node.id))
+                elif node.id in mod.imports.names:
+                    src_mod, orig = mod.imports.names[node.id]
+                    src = self.modules.get(src_mod)
+                    if src is not None and orig in src.module_assigns:
+                        info.global_reads.add((src_mod, orig))
+
+    def _local_types(self, info: FunctionInfo) -> Dict[str, str]:
+        """Local name -> dotted class, from ctor assigns and annotations."""
+        mod = info.module
+        types: Dict[str, str] = {}
+        args = info.node.args
+        for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            ann = arg.annotation
+            if isinstance(ann, ast.Name):
+                dotted = mod.class_dotted(ann.id)
+                if dotted is not None:
+                    types[arg.arg] = dotted
+        for node in ast.walk(info.node):
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Name)
+            ):
+                dotted = mod.class_dotted(node.value.func.id)
+                if dotted is None:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        types[target.id] = dotted
+        return types
+
+    def _resolve_call(
+        self,
+        func: ast.expr,
+        info: FunctionInfo,
+        var_types: Dict[str, str],
+    ) -> Optional[str]:
+        mod = info.module
+        if isinstance(func, ast.Name):
+            if func.id in mod.functions:
+                return mod.functions[func.id].qualname
+            if func.id in mod.classes:
+                return f"{mod.name}.{func.id}"
+            if func.id in mod.imports.names:
+                src_mod, orig = mod.imports.names[func.id]
+                return f"{src_mod}.{orig}"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        base = func.value
+        # self.method(...) and self.attr.method(...)
+        if info.class_name is not None:
+            if isinstance(base, ast.Name) and base.id == "self":
+                local = f"{info.class_name}.{func.attr}"
+                if local in mod.functions:
+                    return mod.functions[local].qualname
+                return None
+            if (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+            ):
+                dotted = mod.attr_types.get((info.class_name, base.attr))
+                if dotted is not None:
+                    return self._method_on(dotted, func.attr)
+        if isinstance(base, ast.Name) and base.id in var_types:
+            return self._method_on(var_types[base.id], func.attr)
+        dotted_mod = mod.imports.resolve_module(base)
+        if dotted_mod is not None:
+            return f"{dotted_mod}.{func.attr}"
+        return None
+
+    def _method_on(self, dotted_class: str, method: str) -> str:
+        """Qualname of ``method`` on ``dotted_class`` (kept dotted even if
+        the class is outside the project — rules match on suffixes)."""
+        return f"{dotted_class}.{method}"
+
+    @staticmethod
+    def _bare_name(func: ast.expr) -> str:
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+        return "<expr>"
+
+    # -- queries ---------------------------------------------------------
+
+    def function(self, qualname: str) -> Optional[FunctionInfo]:
+        return self.functions.get(qualname)
+
+    def callees(self, info: FunctionInfo) -> Iterator[FunctionInfo]:
+        """Project-internal functions ``info`` calls directly."""
+        seen: Set[str] = set()
+        for site in info.calls:
+            if site.target is not None and site.target in self.functions:
+                if site.target not in seen:
+                    seen.add(site.target)
+                    yield self.functions[site.target]
+
+    def global_consumers(self, module: str, name: str) -> List[FunctionInfo]:
+        """Functions (project-wide) that read module-global ``name``."""
+        out = [
+            info
+            for info in self.functions.values()
+            if (module, name) in info.global_reads
+        ]
+        return sorted(out, key=lambda f: f.qualname)

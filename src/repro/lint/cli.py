@@ -12,6 +12,12 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
+from repro.lint.baseline import (
+    baseline_from_violations,
+    filter_with_baseline,
+    load_baseline,
+    save_baseline,
+)
 from repro.lint.engine import LintError, lint_paths
 from repro.lint.rules import RULE_DOCS
 
@@ -22,7 +28,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description="reprolint: static determinism/picklability checks "
-        "(rules RPL001-RPL005; see DESIGN.md §'Static guarantees').",
+        "(rules RPL001-RPL009; see DESIGN.md §'Static guarantees').",
     )
     parser.add_argument(
         "paths",
@@ -34,6 +40,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("text", "json"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="subtract accepted per-(path, rule) counts recorded in FILE; "
+        "only violations beyond the baseline fail the lint",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        metavar="FILE",
+        help="rewrite FILE from the current scan and exit 0",
     )
     parser.add_argument(
         "--list-rules",
@@ -56,6 +73,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     try:
         violations, files_scanned = lint_paths(args.paths)
+        if args.update_baseline:
+            save_baseline(
+                args.update_baseline, baseline_from_violations(violations)
+            )
+            print(
+                f"reprolint: baseline written to {args.update_baseline} "
+                f"({len(violations)} accepted violation(s))"
+            )
+            return 0
+        suppressed = 0
+        if args.baseline:
+            violations, suppressed = filter_with_baseline(
+                violations, load_baseline(args.baseline)
+            )
     except LintError as exc:
         print(f"reprolint: error: {exc}", file=sys.stderr)
         return 2
@@ -65,11 +96,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "files_scanned": files_scanned,
             "clean": not violations,
         }
+        if args.baseline:
+            report["baseline"] = args.baseline
+            report["suppressed"] = suppressed
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
         lines: List[str] = [v.render_text() for v in violations]
         for line in lines:
             print(line)
         status = "clean" if not violations else f"{len(violations)} violation(s)"
+        if suppressed:
+            status += f" ({suppressed} baselined)"
         print(f"reprolint: {files_scanned} file(s) scanned, {status}")
     return 1 if violations else 0

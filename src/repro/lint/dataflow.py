@@ -1,0 +1,415 @@
+"""Flow facts for the determinism rules: RNG values, iteration order,
+stream effects.
+
+Three families of facts are derived over the :class:`~repro.lint.callgraph.Project`:
+
+* **RNG values** — which expressions denote a seeded RNG stream
+  (constructor calls like ``derive_rng``/``default_rng``/``Random``,
+  parameters named or annotated like generators) and which call sites
+  *draw* from one.  RPL006 uses the constructor facts to find
+  module-level streams; RPL007 uses the draw facts.
+* **Iteration order** — which iterables are provably unordered (set
+  literals/comprehensions/calls, set operations, ``glob``/``scandir``/
+  ``listdir``/``iterdir`` results) after tracking simple local
+  assignments.  Wrapping in ``sorted(...)`` launders the order.
+* **Effects** — which stream-layer primitives a function (transitively)
+  performs: WAL appends, estimator applies, manifest writes, checkpoint
+  writes.  RPL008 checks must-precede edges over these summaries.
+
+Like the call graph, everything here is best-effort and tuned for
+precision over recall: a miss costs a lint gap, a false positive costs
+developer trust, so every matcher is curated.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.lint.callgraph import FunctionInfo, ModuleInfo, Project
+from repro.lint.rules import _Imports
+
+__all__ = [
+    "DRAW_METHODS",
+    "EFFECTS",
+    "rng_module_globals",
+    "is_rng_parameter",
+    "draw_calls",
+    "unordered_iter_reason",
+    "order_sensitive_params",
+    "effects_of",
+    "statement_effects",
+]
+
+#: Methods that consume values from a Generator/Random stream. The
+#: ``sample`` family is included because ``LinkModel.sample(rng, t)``
+#: style helpers draw from the rng they are handed.
+DRAW_METHODS: FrozenSet[str] = frozenset(
+    {
+        "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+        "exponential", "gamma", "gauss", "geometric", "getrandbits",
+        "integers", "laplace", "lognormal", "logseries", "multinomial",
+        "normal", "normalvariate", "paretovariate", "permutation",
+        "poisson", "randint", "random", "randrange", "sample", "shuffle",
+        "standard_exponential", "standard_gamma", "standard_normal",
+        "uniform", "vonmises", "weibull",
+    }
+)
+
+#: Substrings that mark a name as RNG-flavoured for draw detection.
+_RNG_NAME_HINTS = ("rng", "random", "gen")
+
+#: Constructor callables that yield a seeded stream object.
+_RNG_CTOR_NAMES = frozenset({"derive_rng", "default_rng", "Random", "RandomState", "Generator", "link_rng"})
+
+#: Filesystem-enumeration callables whose result order is OS-dependent.
+_FS_UNORDERED_FUNCS = frozenset({"listdir", "scandir"})
+_FS_UNORDERED_METHODS = frozenset({"glob", "iglob", "rglob", "iterdir"})
+
+#: Set-returning methods (receiver assumed set-ish when these appear).
+_SET_OP_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+
+# --------------------------------------------------------------------------
+# RNG facts
+# --------------------------------------------------------------------------
+
+
+def is_rng_ctor(call: ast.Call, imports: _Imports) -> bool:
+    """Does this call construct a seeded RNG stream object?"""
+    func = call.func
+    name: Optional[str] = None
+    if isinstance(func, ast.Name):
+        name = func.id
+        if name in imports.names:
+            _, name = imports.names[name]
+    elif isinstance(func, ast.Attribute):
+        base = imports.resolve_module(func.value)
+        if base in {"random", "numpy.random", "np.random"}:
+            name = func.attr
+        elif func.attr in {"derive_rng", "link_rng"}:
+            name = func.attr
+    return name in _RNG_CTOR_NAMES
+
+
+def rng_module_globals(module: ModuleInfo) -> Dict[str, ast.expr]:
+    """Module-level names bound to an RNG stream at import time."""
+    out: Dict[str, ast.expr] = {}
+    for name, value in module.module_assigns.items():
+        if isinstance(value, ast.Call) and is_rng_ctor(value, module.imports):
+            out[name] = value
+    return out
+
+
+def is_rng_parameter(arg: ast.arg) -> bool:
+    """Parameter that, by name or annotation, carries an RNG stream."""
+    lowered = arg.arg.lower()
+    if lowered in {"rng", "gen", "generator", "rand"} or lowered.endswith("_rng"):
+        return True
+    ann = arg.annotation
+    text: Optional[str] = None
+    if isinstance(ann, ast.Name):
+        text = ann.id
+    elif isinstance(ann, ast.Attribute):
+        text = ann.attr
+    elif isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        text = ann.value
+    return text in {"Generator", "Random", "RandomState"} if text else False
+
+
+def _rng_names(info: FunctionInfo) -> Set[str]:
+    """Names (params + locals) bound to an RNG stream in this function."""
+    names: Set[str] = set()
+    args = info.node.args
+    for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+        if is_rng_parameter(arg):
+            names.add(arg.arg)
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if is_rng_ctor(node.value, info.module.imports):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+    return names
+
+
+def _names_in(expr: ast.expr) -> Iterator[str]:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name):
+            yield node.id
+
+
+def draw_calls(scope: ast.AST, rng_names: Set[str]) -> Iterator[ast.Call]:
+    """Call sites inside ``scope`` that consume RNG values.
+
+    A call draws when (a) it is ``<rng-ish>.method(...)`` with a known
+    draw method, or (b) any argument is a known RNG name (helpers like
+    ``model.sample(rng, t)`` advance the stream they are handed).
+    """
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in DRAW_METHODS:
+            base = func.value
+            if isinstance(base, ast.Name) and (
+                base.id in rng_names
+                or any(h in base.id.lower() for h in _RNG_NAME_HINTS)
+            ):
+                yield node
+                continue
+            if isinstance(base, ast.Attribute) and any(
+                h in base.attr.lower() for h in _RNG_NAME_HINTS
+            ):
+                yield node
+                continue
+        if any(
+            isinstance(a, ast.Name) and a.id in rng_names
+            for a in list(node.args) + [kw.value for kw in node.keywords]
+        ):
+            yield node
+
+
+# --------------------------------------------------------------------------
+# Iteration-order facts
+# --------------------------------------------------------------------------
+
+
+def _local_unordered_names(scope: ast.AST, imports: _Imports) -> Set[str]:
+    """Names assigned (in this scope) from a provably-unordered value."""
+    names: Set[str] = set()
+    for _ in range(2):  # one extra pass so x = s; y = x chains resolve
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign):
+                if _is_unordered_value(node.value, imports, names):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+    return names
+
+
+def _is_unordered_value(
+    expr: ast.expr, imports: _Imports, known: Set[str]
+) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Name):
+        return expr.id in known
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name):
+            if func.id in {"set", "frozenset"}:
+                return True
+            if func.id in imports.names:
+                mod, orig = imports.names[func.id]
+                if mod in {"glob", "os"} and orig in (
+                    {"glob", "iglob"} | _FS_UNORDERED_FUNCS
+                ):
+                    return True
+            return False
+        if isinstance(func, ast.Attribute):
+            base = imports.resolve_module(func.value)
+            if base == "glob" and func.attr in {"glob", "iglob"}:
+                return True
+            if base == "os" and func.attr in _FS_UNORDERED_FUNCS:
+                return True
+            if func.attr in _FS_UNORDERED_METHODS:
+                return True
+            if func.attr in _SET_OP_METHODS:
+                return True
+    return False
+
+
+def unordered_iter_reason(
+    iter_expr: ast.expr,
+    imports: _Imports,
+    local_unordered: Set[str],
+) -> Optional[str]:
+    """Why iterating ``iter_expr`` is order-unstable, or None if it isn't.
+
+    ``sorted(...)`` (and ``list(sorted(...))``) launder the order and
+    return None.
+    """
+    if isinstance(expr := iter_expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name) and func.id == "sorted":
+            return None
+        if isinstance(func, ast.Name) and func.id in {"list", "tuple"}:
+            if expr.args and isinstance(expr.args[0], ast.Call):
+                inner = expr.args[0].func
+                if isinstance(inner, ast.Name) and inner.id == "sorted":
+                    return None
+    if isinstance(iter_expr, (ast.Set, ast.SetComp)):
+        return "a set literal/comprehension"
+    if isinstance(iter_expr, ast.Name) and iter_expr.id in local_unordered:
+        return f"`{iter_expr.id}` (assigned from an unordered value)"
+    if _is_unordered_value(iter_expr, imports, local_unordered):
+        if isinstance(iter_expr, ast.Call):
+            func = iter_expr.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else "call"
+            )
+            return f"`{name}(...)` (unordered result)"
+        return "an unordered value"
+    return None
+
+
+def order_sensitive_params(info: FunctionInfo) -> Set[str]:
+    """Parameters this function iterates with RNG draws or float
+    accumulation in the loop body (order-sensitivity summary).
+
+    Callers passing a set-ish/glob-ish argument for such a parameter
+    inherit the order instability — RPL007 flags those call sites.
+    """
+    params = {
+        a.arg
+        for a in list(info.node.args.posonlyargs)
+        + list(info.node.args.args)
+        + list(info.node.args.kwonlyargs)
+    }
+    rng = _rng_names(info)
+    out: Set[str] = set()
+    for node in ast.walk(info.node):
+        if not isinstance(node, (ast.For, ast.AsyncFor)):
+            continue
+        if not (isinstance(node.iter, ast.Name) and node.iter.id in params):
+            continue
+        if _loop_body_order_sensitive(node, rng):
+            out.add(node.iter.id)
+    return out
+
+
+def _loop_body_order_sensitive(
+    loop: Union[ast.For, ast.AsyncFor], rng_names: Set[str]
+) -> bool:
+    body = ast.Module(body=list(loop.body), type_ignores=[])
+    if next(draw_calls(body, rng_names), None) is not None:
+        return True
+    return any(_is_float_accumulation(n) for n in ast.walk(body))
+
+
+def _is_float_accumulation(node: ast.AST) -> bool:
+    """``x += <float-ish>`` — reassociating float sums changes bits."""
+    if not isinstance(node, ast.AugAssign) or not isinstance(
+        node.op, (ast.Add, ast.Sub)
+    ):
+        return False
+    return not _provably_int(node.value)
+
+
+def _provably_int(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Constant):
+        return isinstance(expr.value, int) and not isinstance(expr.value, bool)
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        return expr.func.id in {"len", "int", "ord"}
+    if isinstance(expr, ast.UnaryOp):
+        return _provably_int(expr.operand)
+    return False
+
+
+# --------------------------------------------------------------------------
+# Effect summaries (RPL008)
+# --------------------------------------------------------------------------
+
+#: Effect kinds, in protocol order of mention.
+WAL_APPEND = "wal-append"
+APPLY = "estimator-apply"
+MANIFEST = "manifest-write"
+CHECKPOINT = "checkpoint-write"
+
+EFFECTS: Tuple[str, ...] = (WAL_APPEND, APPLY, MANIFEST, CHECKPOINT)
+
+#: Dotted-suffix -> effects. A match *overrides* (the designated
+#: primitive's own body is not traversed further), so ``_save_manifest``
+#: contributes only a manifest write even though it persists via
+#: ``save_checkpoint`` internally.
+_EFFECT_BASES: Tuple[Tuple[str, FrozenSet[str]], ...] = (
+    ("WriteAheadLog.append", frozenset({WAL_APPEND})),
+    ("ShardWorker.log", frozenset({WAL_APPEND})),
+    ("ShardWorker.absorb", frozenset({APPLY})),
+    ("shard_apply_task", frozenset({APPLY})),
+    ("_save_manifest", frozenset({MANIFEST})),
+    ("ShardWorker.checkpoint", frozenset({CHECKPOINT})),
+    ("save_checkpoint", frozenset({CHECKPOINT})),
+)
+
+#: Bare attribute names distinctive enough to match unresolved calls
+#: (``self.shards[i].log(...)`` defeats type inference). ``append`` is
+#: deliberately absent: too generic (every list has one).
+_RAW_ATTR_EFFECTS: Dict[str, FrozenSet[str]] = {
+    "log": frozenset({WAL_APPEND}),
+    "absorb": frozenset({APPLY}),
+    "_save_manifest": frozenset({MANIFEST}),
+    "checkpoint": frozenset({CHECKPOINT}),
+}
+
+
+def _manifest_override(site_node: ast.Call) -> bool:
+    """``save_checkpoint(store, MANIFEST/"...manifest...", ...)`` writes
+    the manifest blob, not a shard checkpoint."""
+    if len(site_node.args) < 2:
+        return False
+    name = site_node.args[1]
+    if isinstance(name, ast.Constant) and isinstance(name.value, str):
+        return "manifest" in name.value
+    if isinstance(name, ast.Name):
+        return "MANIFEST" in name.id.upper()
+    if isinstance(name, ast.Attribute):
+        return "MANIFEST" in name.attr.upper()
+    return False
+
+
+def _base_effects(target: Optional[str], attr: str, node: ast.Call) -> Optional[FrozenSet[str]]:
+    if target is not None:
+        for suffix, effects in _EFFECT_BASES:
+            if target == suffix or target.endswith("." + suffix):
+                if suffix == "save_checkpoint" and _manifest_override(node):
+                    return frozenset({MANIFEST})
+                return effects
+        # Resolved to a known non-effect callee (e.g. ``math.log``):
+        # do NOT fall back to bare-name matching.
+        return None
+    if attr in _RAW_ATTR_EFFECTS:
+        return _RAW_ATTR_EFFECTS[attr]
+    if attr == "save_checkpoint" and _manifest_override(node):
+        return frozenset({MANIFEST})
+    return None
+
+
+def effects_of(
+    project: Project,
+    info: FunctionInfo,
+    _seen: Optional[Set[str]] = None,
+) -> FrozenSet[str]:
+    """Transitive effect set of one function over the call graph."""
+    for suffix, effects in _EFFECT_BASES:
+        if info.qualname == suffix or info.qualname.endswith("." + suffix):
+            return effects
+    seen = _seen if _seen is not None else set()
+    if info.qualname in seen:
+        return frozenset()
+    seen.add(info.qualname)
+    out: Set[str] = set()
+    for site in info.calls:
+        base = _base_effects(site.target, site.attr, site.node)
+        if base is not None:
+            out |= base
+            continue
+        if site.target is not None and site.target in project.functions:
+            out |= effects_of(project, project.functions[site.target], seen)
+    return frozenset(out)
+
+
+def statement_effects(
+    project: Project, info: FunctionInfo, stmt: ast.stmt
+) -> FrozenSet[str]:
+    """Effects one top-level statement of ``info`` performs (transitively)."""
+    out: Set[str] = set()
+    for site in info.calls_in(stmt):
+        base = _base_effects(site.target, site.attr, site.node)
+        if base is not None:
+            out |= base
+        elif site.target is not None and site.target in project.functions:
+            out |= effects_of(project, project.functions[site.target], {info.qualname})
+    return frozenset(out)

@@ -1,5 +1,14 @@
 """File walking, suppression handling and rule dispatch for reprolint.
 
+Since the flow rules (RPL006–009) need a whole-program view, linting is
+a two-phase pass: every file is parsed once into a
+:class:`~repro.lint.callgraph.Project` (symbol tables + call graph),
+then each module is checked by every rule with the project attached to
+its :class:`~repro.lint.rules.LintContext`.  Single-source entry points
+(``lint_source``/``lint_file``) build a one-module project, so fixtures
+and editor integrations keep working unchanged — cross-module facts are
+simply absent.
+
 Suppressions are pragma comments, parsed from real COMMENT tokens (via
 :mod:`tokenize`) so the marker text inside a string literal never
 disables anything:
@@ -7,8 +16,11 @@ disables anything:
 * ``# reprolint: disable=RPL001`` — suppress the listed rule(s) on this
   line (comma-separated; bare ``disable`` suppresses every rule);
 * ``# reprolint: disable-next-line=RPL002`` — same, for the following
-  line (chains: a stack of ``disable-next-line`` comments all apply to
-  the first non-comment line after them).
+  *logical statement* (chains: a stack of ``disable-next-line`` comments
+  all apply to the first statement after them).  For a decorated
+  ``def``/``class`` the suppression covers the decorators and the
+  signature; for a multi-line statement it covers every line of the
+  statement.
 """
 
 from __future__ import annotations
@@ -20,6 +32,7 @@ import tokenize
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.lint.callgraph import ModuleInfo, Project
 from repro.lint.rules import ALL_RULES, SIM_PATH_SEGMENTS, LintContext
 from repro.lint.violation import Violation
 
@@ -37,7 +50,31 @@ class LintError(RuntimeError):
     """A file could not be linted (I/O or syntax error)."""
 
 
-def _suppressions(source: str) -> Dict[int, Set[str]]:
+def _statement_extents(tree: ast.Module) -> List[Tuple[int, int]]:
+    """``(start, end)`` line spans of every statement, decorators included.
+
+    For function/class definitions the span stops at the signature (the
+    line before the first body statement): a pragma on a ``def`` should
+    cover its decorators, arguments and defaults, not the whole body.
+    """
+    extents: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        decorators = getattr(node, "decorator_list", None)
+        if decorators:
+            start = min(start, min(d.lineno for d in decorators))
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            end = node.body[0].lineno - 1 if node.body else node.lineno
+            end = max(end, node.lineno)
+        else:
+            end = node.end_lineno or node.lineno
+        extents.append((start, end))
+    return extents
+
+
+def _suppressions(source: str, tree: Optional[ast.Module] = None) -> Dict[int, Set[str]]:
     """Map line number -> set of suppressed rule ids (or ``{"*"}``)."""
     out: Dict[int, Set[str]] = {}
     pending: Set[str] = set()
@@ -45,6 +82,7 @@ def _suppressions(source: str) -> Dict[int, Set[str]]:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, IndentationError):  # pragma: no cover - parse
         return out  # ast.parse will raise a proper error for the caller
+    anchors: Dict[int, Set[str]] = {}  # first-code-line -> pending rule ids
     for tok in tokens:
         if tok.type == tokenize.COMMENT:
             match = _PRAGMA.search(tok.string)
@@ -65,14 +103,60 @@ def _suppressions(source: str) -> Dict[int, Set[str]]:
             continue
         elif pending:
             # First code token after a disable-next-line stack.
-            out.setdefault(tok.start[0], set()).update(pending)
+            anchors.setdefault(tok.start[0], set()).update(pending)
             pending = set()
+    if not anchors:
+        return out
+    extents = _statement_extents(tree) if tree is not None else []
+    for anchor_line, ids in anchors.items():
+        # Expand the anchor to the logical statement(s) starting there,
+        # so the pragma covers decorated defs and multi-line statements.
+        expanded = False
+        for start, end in extents:
+            if start == anchor_line:
+                expanded = True
+                for line in range(start, end + 1):
+                    out.setdefault(line, set()).update(ids)
+        if not expanded:
+            out.setdefault(anchor_line, set()).update(ids)
     return out
 
 
 def default_sim_path(path: Union[str, Path]) -> bool:
     """Is this file part of the simulation paths RPL002 protects?"""
     return not SIM_PATH_SEGMENTS.isdisjoint(Path(path).parts)
+
+
+def _parse(source: str, path: str) -> ast.Module:
+    try:
+        return ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: cannot parse: {exc.msg} (line {exc.lineno})") from exc
+
+
+def _lint_module(
+    project: Project,
+    module: ModuleInfo,
+    *,
+    in_sim_path: Optional[bool] = None,
+) -> List[Violation]:
+    if in_sim_path is None:
+        in_sim_path = default_sim_path(module.path)
+    ctx = LintContext(
+        path=module.path,
+        in_sim_path=in_sim_path,
+        project=project,
+        module=module,
+    )
+    suppressed = _suppressions(module.source, module.tree)
+    found: List[Violation] = []
+    for rule_cls in ALL_RULES:
+        for violation in rule_cls().check(module.tree, ctx):
+            rules_off = suppressed.get(violation.line, ())
+            if _ALL in rules_off or violation.rule in rules_off:
+                continue
+            found.append(violation)
+    return sorted(found)
 
 
 def lint_source(
@@ -84,24 +168,14 @@ def lint_source(
     """Lint one module's source text; returns sorted violations.
 
     ``in_sim_path`` defaults to a path-segment check (``core``, ``net``,
-    ``workloads`` or ``exec`` anywhere in the path).
+    ``workloads``, ``exec`` or ``stream`` anywhere in the path). The
+    module is linted as a one-file project: flow rules see its own
+    symbols but no cross-module facts.
     """
-    if in_sim_path is None:
-        in_sim_path = default_sim_path(path)
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        raise LintError(f"{path}: cannot parse: {exc.msg} (line {exc.lineno})") from exc
-    ctx = LintContext(path=path, in_sim_path=in_sim_path)
-    suppressed = _suppressions(source)
-    found: List[Violation] = []
-    for rule_cls in ALL_RULES:
-        for violation in rule_cls().check(tree, ctx):
-            rules_off = suppressed.get(violation.line, ())
-            if _ALL in rules_off or violation.rule in rules_off:
-                continue
-            found.append(violation)
-    return sorted(found)
+    tree = _parse(source, path)
+    project = Project.build([(path, source, tree)])
+    module = next(iter(project.modules.values()))
+    return _lint_module(project, module, in_sim_path=in_sim_path)
 
 
 def lint_file(path: Union[str, Path], display: Optional[str] = None) -> List[Violation]:
@@ -134,10 +208,21 @@ def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterable[Path]:
 
 
 def lint_paths(paths: Sequence[Union[str, Path]]) -> Tuple[List[Violation], int]:
-    """Lint every ``.py`` under ``paths``; returns (violations, files seen)."""
-    violations: List[Violation] = []
-    count = 0
+    """Lint every ``.py`` under ``paths``; returns (violations, files seen).
+
+    All files are parsed into one :class:`Project` first, so the flow
+    rules see cross-module call edges and global reads across the whole
+    invocation.
+    """
+    sources: List[Tuple[str, str, ast.Module]] = []
     for file_path in iter_python_files(paths):
-        count += 1
-        violations.extend(lint_file(file_path))
-    return sorted(violations), count
+        try:
+            text = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"{file_path}: cannot read: {exc}") from exc
+        sources.append((str(file_path), text, _parse(text, str(file_path))))
+    project = Project.build(sources)
+    violations: List[Violation] = []
+    for module in project.modules.values():
+        violations.extend(_lint_module(project, module))
+    return sorted(violations), len(sources)

@@ -18,9 +18,12 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple, Type
 
 from repro.lint.violation import Violation
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.lint.callgraph import ModuleInfo, Project
 
 __all__ = ["ALL_RULES", "RULE_DOCS", "LintContext", "Rule"]
 
@@ -94,10 +97,17 @@ _MUTABLE_CTORS = frozenset({"list", "dict", "set", "bytearray", "defaultdict",
 
 @dataclass
 class LintContext:
-    """Where a module lives, and what that implies for scoped rules."""
+    """Where a module lives, and what that implies for scoped rules.
+
+    ``project``/``module`` carry the whole-program view the flow rules
+    (RPL006–009) need; the engine always populates them, but rules must
+    degrade to silence when invoked standalone without one.
+    """
 
     path: str
     in_sim_path: bool = False
+    project: Optional["Project"] = None
+    module: Optional["ModuleInfo"] = None
 
 
 @dataclass
@@ -619,7 +629,8 @@ class MutableDefaultRule(Rule):
         return False
 
 
-ALL_RULES: Tuple[Type[Rule], ...] = (
+#: The per-file syntactic rules defined in this module.
+SYNTACTIC_RULES: Tuple[Type[Rule], ...] = (
     GlobalRngRule,
     WallClockRule,
     UnpicklableCallableRule,
@@ -627,5 +638,38 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     MutableDefaultRule,
 )
 
-#: rule id -> one-line summary (for ``--list-rules`` and docs).
-RULE_DOCS: Dict[str, str] = {r.rule_id: r.summary for r in ALL_RULES}
+
+def _assemble_rules() -> Tuple[Type[Rule], ...]:
+    # Imported lazily: flow_rules subclasses Rule and uses LintContext,
+    # so a module-level import here would be circular.
+    from repro.lint.flow_rules import (
+        EffectOrderRule,
+        RngAliasRule,
+        SwallowedEvidenceRule,
+        UnorderedRngFlowRule,
+    )
+
+    return SYNTACTIC_RULES + (
+        RngAliasRule,
+        UnorderedRngFlowRule,
+        EffectOrderRule,
+        SwallowedEvidenceRule,
+    )
+
+
+if TYPE_CHECKING:  # pragma: no cover - the lazy __getattr__ serves these
+    ALL_RULES: Tuple[Type[Rule], ...]
+    RULE_DOCS: Dict[str, str]
+
+
+def __getattr__(name: str) -> object:
+    """Lazy ``ALL_RULES``/``RULE_DOCS`` (PEP 562), cached after first use."""
+    if name == "ALL_RULES":
+        rules = _assemble_rules()
+        globals()["ALL_RULES"] = rules
+        return rules
+    if name == "RULE_DOCS":
+        docs = {r.rule_id: r.summary for r in _assemble_rules()}
+        globals()["RULE_DOCS"] = docs
+        return docs
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

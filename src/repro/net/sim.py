@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional, Union
 
 from repro.net.events import CalendarQueue, EventQueue, ScheduledEvent
+from repro.sanitize import hooks as _sanitize_hooks
 
 __all__ = ["Simulator"]
 
@@ -32,6 +33,9 @@ class Simulator:
         self._now = 0.0
         self._events_processed = 0
         self._running = False
+        # Cached at construction so the hot loop pays one None test per
+        # pop only while a sanitizer is tracing this run.
+        self._san = _sanitize_hooks.ACTIVE
 
     @property
     def now(self) -> float:
@@ -98,6 +102,8 @@ class Simulator:
         event = self._queue.pop()
         if event is None:
             return False
+        if self._san is not None:
+            self._san.record_pop(event.time, event.seq)
         self._now = event.time
         self._events_processed += 1
         event.fire()

@@ -1,0 +1,111 @@
+"""CLI for determinism fingerprints.
+
+Usage::
+
+    python -m repro.sanitize diff A.json B.json [--mode stream|global]
+    python -m repro.sanitize show FP.json
+    python -m repro.sanitize verify FP.json
+
+Exit codes mirror reprolint's: 0 — equivalent / protocol holds, 1 —
+divergence or protocol violation found, 2 — usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.sanitize.differ import diff_fingerprints, verify_effect_protocol
+from repro.sanitize.fingerprint import Fingerprint
+
+__all__ = ["main"]
+
+
+def _load(path: str) -> Fingerprint:
+    try:
+        return Fingerprint.load(path)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"error: cannot load fingerprint {path}: {exc}")
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    a, b = _load(args.a), _load(args.b)
+    divergences = diff_fingerprints(a, b, mode=args.mode)
+    if not divergences:
+        print(
+            f"fingerprints equivalent ({args.mode} mode): "
+            f"{a.total_draws()} draws, {len(a.pops)} pops, "
+            f"{len(a.effects)} effects"
+        )
+        return 0
+    print(f"{len(divergences)} divergence(s) ({args.mode} mode):")
+    for div in divergences:
+        print(div.describe())
+    return 1
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    fp = _load(args.fingerprint)
+    print(f"fingerprint `{fp.label}` (version {fp.version})")
+    print(f"  draws: {fp.total_draws()} across {len(fp.stream_names())} stream(s)")
+    for stream in fp.stream_names():
+        records = fp.stream_records(stream)
+        print(f"    {stream}: {sum(r.count for r in records)} values "
+              f"in {len(records)} call(s)")
+    print(f"  pops: {len(fp.pops)}")
+    print(f"  effects: {len(fp.effects)}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    fp = _load(args.fingerprint)
+    problems = verify_effect_protocol(fp)
+    if not problems:
+        print(f"effect protocol holds ({len(fp.effects)} effects)")
+        return 0
+    print(f"{len(problems)} protocol violation(s):")
+    for problem in problems:
+        print(f"  {problem}")
+    return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sanitize",
+        description="Compare and inspect determinism fingerprints.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    diff = sub.add_parser("diff", help="compare two fingerprints")
+    diff.add_argument("a")
+    diff.add_argument("b")
+    diff.add_argument(
+        "--mode", choices=("stream", "global"), default="stream",
+        help="stream: per-stream values (cross-engine, batching-tolerant); "
+             "global: strict call interleaving (same-engine)",
+    )
+    diff.set_defaults(func=_cmd_diff)
+
+    show = sub.add_parser("show", help="summarize one fingerprint")
+    show.add_argument("fingerprint")
+    show.set_defaults(func=_cmd_show)
+
+    verify = sub.add_parser("verify", help="check effect-ordering protocol")
+    verify.add_argument("fingerprint")
+    verify.set_defaults(func=_cmd_verify)
+
+    args = parser.parse_args(argv)
+    try:
+        return int(args.func(args))
+    except SystemExit as exc:  # from _load
+        if isinstance(exc.code, str):
+            print(exc.code, file=sys.stderr)
+            return 2
+        raise
+    except BrokenPipeError:  # pragma: no cover - e.g. piped into `head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

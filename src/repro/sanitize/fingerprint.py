@@ -1,0 +1,167 @@
+"""Determinism fingerprints: the sanitizer's serializable trace.
+
+A :class:`Fingerprint` is everything the runtime sanitizer observed in
+one labelled run:
+
+* every RNG draw, as a :class:`DrawRecord` — stream name, method,
+  attributed call site (``file:line in func``), the start index within
+  the stream and the drawn values as exact 64-bit patterns (float64
+  bits / masked ints), so comparison is bit-exact with no tolerance;
+* the event-queue pop order, as ``(time, seq)`` pairs;
+* the durability effects (WAL appends, estimator applies, manifest and
+  checkpoint writes), as ``(kind, key, detail)`` triples keyed so the
+  protocol checker in :mod:`repro.sanitize.differ` can correlate them.
+
+Fingerprints serialize to a versioned JSON document (``save``/``load``)
+so two runs — different processes, different engines, different machines
+— can be diffed offline with ``python -m repro.sanitize diff``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+__all__ = ["FORMAT_VERSION", "DrawRecord", "EffectRecord", "Fingerprint"]
+
+FORMAT_VERSION = 1
+
+#: Effect detail payload: a sequence number or a short free-form note.
+Detail = Union[int, str]
+
+
+@dataclass(frozen=True)
+class DrawRecord:
+    """One draw call on one named RNG stream."""
+
+    stream: str
+    method: str
+    site: str
+    start: int  #: index of the first value within the stream
+    values: Tuple[int, ...]  #: exact 64-bit patterns of the drawn values
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def end(self) -> int:
+        """One past the index of the last value (``start`` if empty)."""
+        return self.start + len(self.values)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "stream": self.stream,
+            "method": self.method,
+            "site": self.site,
+            "start": self.start,
+            "values": list(self.values),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "DrawRecord":
+        return cls(
+            stream=data["stream"],
+            method=data["method"],
+            site=data["site"],
+            start=int(data["start"]),
+            values=tuple(int(v) for v in data["values"]),
+        )
+
+
+@dataclass(frozen=True)
+class EffectRecord:
+    """One durability effect: ``kind`` ∈ {wal-append, apply,
+    manifest-write, checkpoint-write}, ``key`` correlates related effects
+    (the WAL blob name, or the manifest name), ``detail`` is the sequence
+    number / watermark involved."""
+
+    kind: str
+    key: str
+    detail: Detail
+
+    def to_json(self) -> List[Any]:
+        return [self.kind, self.key, self.detail]
+
+    @classmethod
+    def from_json(cls, data: List[Any]) -> "EffectRecord":
+        kind, key, detail = data
+        return cls(kind=str(kind), key=str(key), detail=detail)
+
+
+@dataclass
+class Fingerprint:
+    """The full observable trace of one sanitized run."""
+
+    label: str
+    version: int = FORMAT_VERSION
+    draws: List[DrawRecord] = field(default_factory=list)
+    pops: List[Tuple[float, int]] = field(default_factory=list)
+    effects: List[EffectRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ views
+    def stream_names(self) -> List[str]:
+        """Stream names in first-draw order."""
+        seen: Dict[str, None] = {}
+        for rec in self.draws:
+            seen.setdefault(rec.stream, None)
+        return list(seen)
+
+    def stream_records(self, stream: str) -> List[DrawRecord]:
+        return [r for r in self.draws if r.stream == stream]
+
+    def stream_values(self, stream: str) -> List[int]:
+        """Flattened value patterns of one stream, in draw order."""
+        out: List[int] = []
+        for rec in self.draws:
+            if rec.stream == stream:
+                out.extend(rec.values)
+        return out
+
+    def record_at(self, stream: str, index: int) -> Union[DrawRecord, None]:
+        """The draw record containing value ``index`` of ``stream``."""
+        for rec in self.draws:
+            if rec.stream == stream and rec.start <= index < rec.end:
+                return rec
+        return None
+
+    def total_draws(self) -> int:
+        return sum(r.count for r in self.draws)
+
+    # -------------------------------------------------------------- serialize
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "label": self.label,
+            "draws": [r.to_json() for r in self.draws],
+            "pops": [[t, s] for t, s in self.pops],
+            "effects": [e.to_json() for e in self.effects],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Fingerprint":
+        version = int(data.get("version", 0))
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported fingerprint version {version} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        return cls(
+            label=str(data.get("label", "")),
+            version=version,
+            draws=[DrawRecord.from_json(d) for d in data["draws"]],
+            pops=[(float(t), int(s)) for t, s in data["pops"]],
+            effects=[EffectRecord.from_json(e) for e in data["effects"]],
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Fingerprint":
+        return cls.from_json(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,68 @@
+"""The sanitizer's activation point — deliberately tiny.
+
+Instrumented modules (``repro.utils.rng``, ``repro.net.sim``, the
+``repro.stream`` effect primitives) import this module and check
+``hooks.ACTIVE`` at *object-creation or effect time*, never per draw:
+
+* ``derive_rng``/``RngRegistry.get`` wrap the Generator they hand out
+  when a sanitizer is active — when none is, the check is one global
+  read at stream creation and the returned object is the raw numpy
+  Generator, so the off state has **zero per-draw overhead**;
+* ``Simulator`` caches ``ACTIVE`` at construction, so the event loop
+  pays one attribute test per pop only while tracing.
+
+Activation is either explicit (:func:`repro.sanitize.sanitize_run`) or
+environment-driven: importing this module with ``REPRO_SANITIZE=1`` set
+installs a process-global sanitizer, which is how whole CLI runs are
+fingerprinted without code changes.
+
+This module must stay import-light (no numpy) — it is imported by
+``repro.utils.rng`` which everything else imports.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.sanitize.tracer import Sanitizer
+
+__all__ = ["ACTIVE", "activate", "deactivate", "get_active", "activate_from_env"]
+
+#: The installed sanitizer, or None (the default: tracing off).
+ACTIVE: Optional["Sanitizer"] = None
+
+
+def activate(sanitizer: "Sanitizer") -> Optional["Sanitizer"]:
+    """Install ``sanitizer`` globally; returns the previous one (if any)."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = sanitizer
+    return previous
+
+
+def deactivate() -> Optional["Sanitizer"]:
+    """Remove the installed sanitizer; returns it (if any)."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = None
+    return previous
+
+
+def get_active() -> Optional["Sanitizer"]:
+    return ACTIVE
+
+
+def activate_from_env() -> Optional["Sanitizer"]:
+    """Install a sanitizer when ``REPRO_SANITIZE=1`` (idempotent)."""
+    if ACTIVE is None and os.environ.get("REPRO_SANITIZE") == "1":
+        from repro.sanitize.tracer import Sanitizer
+
+        activate(Sanitizer(label=os.environ.get("REPRO_SANITIZE_LABEL", "env")))
+    return ACTIVE
+
+
+# Environment-driven activation: REPRO_SANITIZE=1 traces the whole
+# process from the first stream created after this import.
+activate_from_env()

@@ -1,0 +1,242 @@
+"""The runtime half of the determinism toolchain.
+
+:class:`Sanitizer` collects a :class:`~repro.sanitize.fingerprint.Fingerprint`
+from a live run; :class:`TracedGenerator` is the transparent proxy it
+wraps around every seeded ``numpy.random.Generator`` the moment the
+stream is derived (see :func:`repro.utils.rng.derive_rng`).
+
+Every draw is recorded with
+
+* the stream name (the ``derive_rng`` key, joined with ``/``),
+* its index within that stream,
+* the drawn values as exact 64-bit patterns, and
+* the *call site*: the nearest stack frame outside this package and
+  outside numpy, formatted ``file:line in func`` — this is what lets
+  the differ name the first divergent draw as a source location.
+
+The proxy records *after* delegating, so the wrapped generator advances
+exactly as the raw one would: tracing never perturbs the stream, and
+bit-identity suites pass unchanged under ``REPRO_SANITIZE=1``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import zlib
+from pathlib import PurePath
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.sanitize.fingerprint import Detail, DrawRecord, EffectRecord, Fingerprint
+
+__all__ = ["Sanitizer", "TracedGenerator", "value_bits"]
+
+_U64_MASK = 0xFFFFFFFFFFFFFFFF
+
+#: This package's directory: its own frames are never the blamed site.
+_PKG_DIR = os.path.dirname(os.path.abspath(__file__)) + os.sep
+
+#: Path fragments whose frames are skipped during site attribution.
+_SKIP_FRAGMENTS = (os.sep + "numpy" + os.sep,)
+
+#: filename -> display form; filenames repeat for every draw, so the
+#: cwd-relativization is computed once per file, not once per draw.
+_DISPLAY_CACHE: Dict[str, str] = {}
+
+
+def _display_path(filename: str) -> str:
+    shown = _DISPLAY_CACHE.get(filename)
+    if shown is None:
+        try:
+            shown = PurePath(filename).relative_to(os.getcwd()).as_posix()
+        except ValueError:
+            shown = filename
+        _DISPLAY_CACHE[filename] = shown
+    return shown
+
+
+def value_bits(value: Any) -> Tuple[int, ...]:
+    """Exact 64-bit patterns for a draw result.
+
+    Floats are reinterpreted as their IEEE-754 bit patterns (so ``-0.0``
+    differs from ``0.0`` and NaN payloads are preserved); ints are
+    masked to 64 bits; anything else falls back to a CRC32 of its bytes
+    or repr. Bit patterns make the comparison in the differ exact — no
+    tolerance, no formatting round-trips.
+    """
+    if isinstance(value, np.ndarray):
+        if value.dtype.kind == "f":
+            as64 = value.astype(np.float64, copy=False)
+            return tuple(int(b) for b in as64.view(np.uint64).ravel())
+        if value.dtype.kind in "iub":
+            return tuple(int(v) & _U64_MASK for v in value.ravel().tolist())
+        return (zlib.crc32(value.tobytes()),)
+    if isinstance(value, (float, np.floating)):
+        return (int(np.float64(value).view(np.uint64)),)
+    if isinstance(value, (bool, np.bool_)):
+        return (int(bool(value)),)
+    if isinstance(value, (int, np.integer)):
+        return (int(value) & _U64_MASK,)
+    if value is None:
+        return ()
+    return (zlib.crc32(repr(value).encode("utf-8")),)
+
+
+def _call_site() -> str:
+    """``file:line in func`` of the nearest frame outside sanitize/numpy."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not filename.startswith(_PKG_DIR) and not any(
+            frag in filename for frag in _SKIP_FRAGMENTS
+        ):
+            shown = _display_path(filename)
+            return f"{shown}:{frame.f_lineno} in {frame.f_code.co_name}"
+        back = frame.f_back
+        if back is None:
+            break
+        frame = back
+    return "<unknown>"
+
+
+class Sanitizer:
+    """Collects draws, event-queue pops and durability effects."""
+
+    def __init__(self, label: str = "run") -> None:
+        self.label = label
+        self._draws: List[DrawRecord] = []
+        self._counts: Dict[str, int] = {}
+        self._pops: List[Tuple[float, int]] = []
+        self._effects: List[EffectRecord] = []
+
+    # ----------------------------------------------------------------- wiring
+    def wrap(self, gen: np.random.Generator, key: Tuple[Any, ...]) -> "TracedGenerator":
+        """Wrap a freshly derived generator under its stream name."""
+        stream = "/".join(str(part) for part in key) or "<anonymous>"
+        return TracedGenerator(gen, stream, self)
+
+    # -------------------------------------------------------------- recording
+    def record_draw(self, stream: str, method: str, result: Any) -> None:
+        values = value_bits(result)
+        start = self._counts.get(stream, 0)
+        self._counts[stream] = start + len(values)
+        self._draws.append(
+            DrawRecord(
+                stream=stream,
+                method=method,
+                site=_call_site(),
+                start=start,
+                values=values,
+            )
+        )
+
+    def record_pop(self, time: float, seq: int) -> None:
+        self._pops.append((float(time), int(seq)))
+
+    def record_effect(self, kind: str, key: str, detail: Detail) -> None:
+        self._effects.append(EffectRecord(kind=kind, key=key, detail=detail))
+
+    # ---------------------------------------------------------------- results
+    def fingerprint(self) -> Fingerprint:
+        return Fingerprint(
+            label=self.label,
+            draws=list(self._draws),
+            pops=list(self._pops),
+            effects=list(self._effects),
+        )
+
+
+class TracedGenerator:
+    """Transparent recording proxy over :class:`numpy.random.Generator`.
+
+    Draw methods delegate first, then record the result's bit patterns;
+    everything else (``bit_generator``, ``spawn``, ...) falls through
+    via ``__getattr__``. The in-place mutators (``shuffle``) record the
+    post-state of the mutated buffer, which captures order divergences
+    the return value cannot.
+    """
+
+    def __init__(
+        self, gen: np.random.Generator, stream: str, sanitizer: Sanitizer
+    ) -> None:
+        self._gen = gen
+        self._stream = stream
+        self._san = sanitizer
+
+    @property
+    def stream_name(self) -> str:
+        return self._stream
+
+    @property
+    def wrapped(self) -> np.random.Generator:
+        return self._gen
+
+    def _rec(self, method: str, result: Any) -> Any:
+        self._san.record_draw(self._stream, method, result)
+        return result
+
+    # --------------------------------------------------------- draw wrappers
+    def random(self, *args: Any, **kwargs: Any) -> Any:
+        return self._rec("random", self._gen.random(*args, **kwargs))
+
+    def uniform(self, *args: Any, **kwargs: Any) -> Any:
+        return self._rec("uniform", self._gen.uniform(*args, **kwargs))
+
+    def normal(self, *args: Any, **kwargs: Any) -> Any:
+        return self._rec("normal", self._gen.normal(*args, **kwargs))
+
+    def standard_normal(self, *args: Any, **kwargs: Any) -> Any:
+        return self._rec("standard_normal", self._gen.standard_normal(*args, **kwargs))
+
+    def integers(self, *args: Any, **kwargs: Any) -> Any:
+        return self._rec("integers", self._gen.integers(*args, **kwargs))
+
+    def exponential(self, *args: Any, **kwargs: Any) -> Any:
+        return self._rec("exponential", self._gen.exponential(*args, **kwargs))
+
+    def standard_exponential(self, *args: Any, **kwargs: Any) -> Any:
+        return self._rec(
+            "standard_exponential", self._gen.standard_exponential(*args, **kwargs)
+        )
+
+    def geometric(self, *args: Any, **kwargs: Any) -> Any:
+        return self._rec("geometric", self._gen.geometric(*args, **kwargs))
+
+    def poisson(self, *args: Any, **kwargs: Any) -> Any:
+        return self._rec("poisson", self._gen.poisson(*args, **kwargs))
+
+    def binomial(self, *args: Any, **kwargs: Any) -> Any:
+        return self._rec("binomial", self._gen.binomial(*args, **kwargs))
+
+    def gamma(self, *args: Any, **kwargs: Any) -> Any:
+        return self._rec("gamma", self._gen.gamma(*args, **kwargs))
+
+    def beta(self, *args: Any, **kwargs: Any) -> Any:
+        return self._rec("beta", self._gen.beta(*args, **kwargs))
+
+    def lognormal(self, *args: Any, **kwargs: Any) -> Any:
+        return self._rec("lognormal", self._gen.lognormal(*args, **kwargs))
+
+    def choice(self, *args: Any, **kwargs: Any) -> Any:
+        return self._rec("choice", self._gen.choice(*args, **kwargs))
+
+    def permutation(self, *args: Any, **kwargs: Any) -> Any:
+        return self._rec("permutation", self._gen.permutation(*args, **kwargs))
+
+    def bytes(self, *args: Any, **kwargs: Any) -> Any:
+        result = self._gen.bytes(*args, **kwargs)
+        self._san.record_draw(self._stream, "bytes", zlib.crc32(result))
+        return result
+
+    def shuffle(self, x: Any, *args: Any, **kwargs: Any) -> None:
+        self._gen.shuffle(x, *args, **kwargs)
+        self._san.record_draw(self._stream, "shuffle", x)
+
+    # ------------------------------------------------------------ passthrough
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._gen, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TracedGenerator(stream={self._stream!r}, {self._gen!r})"

@@ -30,6 +30,7 @@ import hashlib
 import json
 from typing import Any, Dict, Mapping
 
+from repro.sanitize import hooks as _sanitize_hooks
 from repro.stream.storage import BlobStore
 
 __all__ = [
@@ -118,6 +119,16 @@ def decode_checkpoint(data: bytes) -> Dict[str, Any]:
 def save_checkpoint(store: BlobStore, name: str, payload: Mapping[str, Any]) -> None:
     """Atomically persist a payload under ``name``."""
     store.write_atomic(name, encode_checkpoint(payload))
+    sanitizer = _sanitize_hooks.ACTIVE
+    if sanitizer is not None and "manifest" in name:
+        # Mirrors the static classifier (dataflow._manifest_override):
+        # a "manifest"-named blob is the resume index, and the effect
+        # protocol requires it to precede the checkpoints it describes.
+        # Shard checkpoints are recorded (with WAL correlation) by
+        # ShardWorker.checkpoint instead.
+        round_no = payload.get("round_no")
+        detail = round_no if isinstance(round_no, int) else 0
+        sanitizer.record_effect("manifest-write", name, detail)
 
 
 def load_checkpoint(store: BlobStore, name: str) -> Dict[str, Any]:

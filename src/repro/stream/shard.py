@@ -39,6 +39,7 @@ from repro.stream.records import (
     record_from_dict,
     record_to_dict,
 )
+from repro.sanitize import hooks as _sanitize_hooks
 from repro.stream.storage import BlobStore
 from repro.stream.wal import WriteAheadLog
 
@@ -131,6 +132,9 @@ class ShardWorker:
         self.estimator.merge(PerLinkEstimator.from_state(delta_state))
         self.seq_applied += count
         self.stats.applied += count
+        sanitizer = _sanitize_hooks.ACTIVE
+        if sanitizer is not None:
+            sanitizer.record_effect("apply", self.wal.name, self.seq_applied)
 
     @property
     def lag(self) -> int:
@@ -214,6 +218,11 @@ class ShardWorker:
         )
         self.wal.truncate_through(self.seq_applied)
         self.stats.checkpoints += 1
+        sanitizer = _sanitize_hooks.ACTIVE
+        if sanitizer is not None:
+            sanitizer.record_effect(
+                "checkpoint-write", self.wal.name, self.seq_applied
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "down" if self.estimator is None else "up"

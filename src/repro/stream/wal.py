@@ -33,6 +33,7 @@ import json
 import zlib
 from typing import Iterator, List, Tuple
 
+from repro.sanitize import hooks as _sanitize_hooks
 from repro.stream.records import PacketRecord, record_from_dict, record_to_dict
 from repro.stream.storage import BlobStore
 
@@ -80,6 +81,9 @@ class WriteAheadLog:
     def append(self, seq: int, record: PacketRecord) -> None:
         """Durably log ``record`` as shard-local sequence ``seq``."""
         self.store.append_line(self.name, _encode_line(seq, record))
+        sanitizer = _sanitize_hooks.ACTIVE
+        if sanitizer is not None:
+            sanitizer.record_effect("wal-append", self.name, seq)
 
     def _parse_all(self) -> List[Tuple[int, PacketRecord]]:
         lines = self.store.read_lines(self.name)

@@ -13,9 +13,11 @@ recommended mechanism for creating statistically independent streams.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple, Union
+from typing import Dict, Iterable, List, Tuple, Union, cast
 
 import numpy as np
+
+from repro.sanitize import hooks as _sanitize_hooks
 
 __all__ = ["derive_rng", "spawn_seeds", "RngRegistry"]
 
@@ -53,7 +55,13 @@ def derive_rng(master_seed: int, *key: KeyPart) -> np.random.Generator:
     same sequence; different keys yield statistically independent streams.
     """
     seq = np.random.SeedSequence(entropy=master_seed, spawn_key=tuple(_key_to_ints(tuple(key))))
-    return np.random.Generator(np.random.PCG64(seq))
+    gen = np.random.Generator(np.random.PCG64(seq))
+    sanitizer = _sanitize_hooks.ACTIVE
+    if sanitizer is not None:
+        # Wrap at creation: callers (and the RngRegistry cache) hold the
+        # recording proxy, so the off state pays nothing per draw.
+        return cast(np.random.Generator, sanitizer.wrap(gen, tuple(key)))
+    return gen
 
 
 def spawn_seeds(master_seed: int, n: int) -> List[int]:

@@ -252,6 +252,52 @@ class TestCacheReplay:
             assert runner.stats.executed == 1, variant
 
 
+class TestSanitizedFingerprints:
+    """The determinism matrix under the runtime sanitizer: identical
+    seeds yield bit-identical fingerprints (draw-for-draw, pop-for-pop),
+    not just identical extracted outcomes."""
+
+    def test_same_seed_fingerprints_identical_per_engine(self):
+        from repro.sanitize import diff_fingerprints, sanitize_run
+
+        base = line_scenario(5, duration=60.0, traffic_period=3.0)
+        for engine in ("event", "array"):
+            scenario = base.with_config(engine=engine)
+
+            def one_pass():
+                with sanitize_run(engine) as san:
+                    scenario.make_simulation(7).run()
+                return san.fingerprint()
+
+            first, second = one_pass(), one_pass()
+            divergences = diff_fingerprints(first, second, mode="global")
+            assert divergences == [], (
+                engine,
+                [d.describe() for d in divergences],
+            )
+            assert first.total_draws() > 0
+
+    def test_engines_fingerprint_equivalent_through_extraction(self):
+        from repro.sanitize import diff_fingerprints, sanitize_run
+
+        scenario = dynamic_rgg_scenario(
+            16, churn_noise=0.6, duration=60.0, traffic_period=4.0
+        )
+        spec = dophy_approach()
+        fingerprints = {}
+        for engine in ("event", "array"):
+            scn = scenario.with_config(engine=engine)
+            with sanitize_run(engine) as san:
+                obs = spec.factory()
+                result = scn.make_simulation(7, [obs]).run()
+                spec.extract(obs, result)
+            fingerprints[engine] = san.fingerprint()
+        divergences = diff_fingerprints(
+            fingerprints["event"], fingerprints["array"], mode="stream"
+        )
+        assert divergences == [], [d.describe() for d in divergences]
+
+
 @pytest.mark.skipif(
     os.environ.get("REPRO_PERF") != "1",
     reason="wall-clock speedup needs >= 4 free cores; set REPRO_PERF=1 to run",

@@ -1,0 +1,21 @@
+"""RPL006 positive fixture: one module-level RNG stream, two consumers.
+
+Runtime twin: ``tests/sanitize/test_rule_runtime_pin.py`` imports this
+module fresh under two sanitize contexts and calls the consumers in
+opposite orders — because they alias one stream, the swap shifts every
+draw and the differ names the first divergent one.
+"""
+
+from repro.utils.rng import derive_rng
+
+SHARED_RNG = derive_rng(1234, "fixture", "shared")
+
+
+def scalar_losses(n):
+    """The event-path spelling: one scalar draw per packet."""
+    return [SHARED_RNG.random() for _ in range(n)]
+
+
+def buffered_losses(n):
+    """The array-path spelling: one batched draw."""
+    return SHARED_RNG.random(n)

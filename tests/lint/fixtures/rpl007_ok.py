@@ -1,0 +1,20 @@
+"""RPL007 negative fixture: ``sorted(...)`` launders the iteration order."""
+
+
+def fold_weights(tags, rng):
+    total = 0.0
+    for tag in sorted(tags):
+        total += rng.uniform(0.0, float(len(tag)))
+    return total
+
+
+def collect(rng):
+    labels = {"alpha", "beta", "gamma", "delta"}
+    out = []
+    for label in sorted(labels):
+        out.append(rng.uniform(0.0, float(len(label))))
+    return out
+
+
+def run(rng):
+    return fold_weights({"n1", "n22", "n333"}, rng)

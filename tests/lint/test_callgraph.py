@@ -1,0 +1,155 @@
+"""Unit coverage for the symbol-table/call-graph layer (callgraph.py)
+and the cross-module behaviour of the flow rules: ``lint_paths`` builds
+ONE :class:`~repro.lint.callgraph.Project` over every file in the
+invocation, so RPL006/RPL007 see call edges and global reads that span
+files.
+"""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.lint import lint_paths
+from repro.lint.callgraph import Project, module_name_for
+
+
+def _project(**sources):
+    triples = []
+    for dotted, src in sorted(sources.items()):
+        path = dotted.replace(".", "/") + ".py"
+        triples.append((path, src, ast.parse(src)))
+    return Project.build(triples)
+
+
+# -- naming --------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "path, expected",
+    [
+        ("src/repro/stream/sink.py", "repro.stream.sink"),
+        ("tests/lint/fixtures/rpl006_bad.py", "tests.lint.fixtures.rpl006_bad"),
+        ("src/repro/__init__.py", "repro"),
+        ("<string>", "string"),
+    ],
+)
+def test_module_name_for(path, expected):
+    assert module_name_for(path) == expected
+
+
+# -- call resolution -----------------------------------------------------------------
+
+def test_direct_call_resolves_within_module():
+    project = _project(
+        mod="def helper(rng):\n    return rng.random()\n"
+        "def top(rng):\n    return helper(rng)\n"
+    )
+    top = project.function("mod.top")
+    assert top is not None
+    targets = {site.target for stmt in top.statements()
+               for site in top.calls_in(stmt)}
+    assert "mod.helper" in targets
+
+
+def test_imported_call_resolves_across_modules():
+    project = _project(
+        a="def draw(rng, items):\n"
+        "    total = 0.0\n"
+        "    for item in items:\n"
+        "        total += rng.random()\n"
+        "    return total\n",
+        b="from a import draw\n\ndef caller(rng):\n    return draw(rng, {1, 2})\n",
+    )
+    caller = project.function("b.caller")
+    assert caller is not None
+    assert [f.qualname for f in project.callees(caller)] == ["a.draw"]
+
+
+def test_method_calls_resolve_through_attribute_types():
+    project = _project(
+        mod="class Wal:\n"
+        "    def append(self, record):\n"
+        "        return record\n"
+        "class Worker:\n"
+        "    def __init__(self):\n"
+        "        self.wal = Wal()\n"
+        "    def round(self, record):\n"
+        "        return self.wal.append(record)\n"
+    )
+    worker_round = project.function("mod.Worker.round")
+    assert worker_round is not None
+    assert [f.qualname for f in project.callees(worker_round)] == [
+        "mod.Wal.append"
+    ]
+
+
+def test_global_consumers_tracks_module_level_reads():
+    project = _project(
+        mod="STATE = object()\n"
+        "def reader():\n    return STATE\n"
+        "def other():\n    return 1\n"
+    )
+    consumers = project.global_consumers("mod", "STATE")
+    assert [f.qualname for f in consumers] == ["mod.reader"]
+
+
+# -- cross-module flow rules ---------------------------------------------------------
+
+def test_rpl007_taint_crosses_files(tmp_path, monkeypatch):
+    """A set literal passed *from another file* to a function that draws
+    RNG values while iterating the parameter is flagged at the call
+    site — single-file linting could never see this edge.
+
+    Linted from inside the directory so the files' dotted module names
+    (``drawer``, ``caller``) match the import spellings.
+    """
+    (tmp_path / "drawer.py").write_text(
+        "def fold(rng, tags):\n"
+        "    total = 0.0\n"
+        "    for tag in tags:\n"
+        "        total += rng.uniform(0.0, float(len(tag)))\n"
+        "    return total\n"
+    )
+    (tmp_path / "caller.py").write_text(
+        "from drawer import fold\n"
+        "\n"
+        "def run(rng):\n"
+        "    return fold(rng, {'a', 'bb'})\n"
+    )
+    monkeypatch.chdir(tmp_path)
+    violations, _ = lint_paths(["drawer.py", "caller.py"])
+    rpl007 = [v for v in violations if v.rule == "RPL007"]
+    assert any("caller.py" in v.path for v in rpl007)
+
+
+def test_rpl006_shared_stream_consumers_in_one_file(tmp_path, monkeypatch):
+    (tmp_path / "shared.py").write_text(
+        "from repro.utils.rng import derive_rng\n"
+        "RNG = derive_rng(1, 'fixture')\n"
+        "def a():\n    return RNG.random()\n"
+        "def b():\n    return RNG.random()\n"
+    )
+    monkeypatch.chdir(tmp_path)
+    violations, _ = lint_paths(["shared.py"])
+    assert [v.rule for v in violations] == ["RPL006"]
+    assert "2 functions" in violations[0].message
+
+
+def test_sorted_argument_is_not_tainted(tmp_path, monkeypatch):
+    (tmp_path / "drawer.py").write_text(
+        "def fold(rng, tags):\n"
+        "    total = 0.0\n"
+        "    for tag in tags:\n"
+        "        total += rng.uniform(0.0, float(len(tag)))\n"
+        "    return total\n"
+    )
+    (tmp_path / "caller.py").write_text(
+        "from drawer import fold\n"
+        "\n"
+        "def run(rng):\n"
+        "    return fold(rng, sorted({'a', 'bb'}))\n"
+    )
+    monkeypatch.chdir(tmp_path)
+    violations, _ = lint_paths(["drawer.py", "caller.py"])
+    assert violations == []

@@ -38,6 +38,60 @@ def test_disable_next_line():
     assert [v.line for v in lint_source(src)] == [4]
 
 
+def test_disable_next_line_covers_multi_line_statement():
+    src = (
+        "import random\n"
+        "# reprolint: disable-next-line=RPL001\n"
+        "x = (random.random()\n"
+        "     + random.random())\n"
+        "y = random.random()\n"
+    )
+    # Both draws inside the suppressed logical statement are covered;
+    # the statement after it is not.
+    assert [v.line for v in lint_source(src)] == [5]
+
+
+def test_disable_next_line_covers_decorated_def_signature():
+    src = (
+        "import functools\n"
+        "# reprolint: disable-next-line=RPL005\n"
+        "@functools.lru_cache\n"
+        "def f(xs=[]):\n"
+        "    return xs\n"
+    )
+    assert lint_source(src) == []
+
+
+def test_disable_next_line_does_not_leak_into_def_body():
+    src = (
+        "import random\n"
+        "# reprolint: disable-next-line=RPL001\n"
+        "def f():\n"
+        "    return random.random()\n"
+    )
+    assert [v.line for v in lint_source(src)] == [4]
+
+
+def test_disable_next_line_stack_accumulates():
+    src = (
+        "import random\n"
+        "# reprolint: disable-next-line=RPL001\n"
+        "# reprolint: disable-next-line=RPL004\n"
+        "x = list({random.random()})\n"
+    )
+    assert lint_source(src) == []
+
+
+def test_disable_next_line_survives_interleaved_plain_comment():
+    src = (
+        "import random\n"
+        "# reprolint: disable-next-line=RPL001\n"
+        "# an unrelated comment\n"
+        "random.random()\n"
+    )
+    assert lint_source(src) == []
+
+
 def test_pragma_inside_string_is_not_a_suppression():
     src = (
         "import random\n"

@@ -30,6 +30,10 @@ def rules_in(path: Path) -> set:
         ("rpl003_bad.py", "RPL003"),
         ("rpl004_bad.py", "RPL004"),
         ("rpl005_bad.py", "RPL005"),
+        ("rpl006_bad.py", "RPL006"),
+        ("rpl007_bad.py", "RPL007"),
+        ("stream/rpl008_bad.py", "RPL008"),
+        ("stream/rpl009_bad.py", "RPL009"),
     ],
 )
 def test_positive_fixture_flags_only_its_rule(fixture, rule):
@@ -45,6 +49,10 @@ def test_positive_fixture_flags_only_its_rule(fixture, rule):
         "rpl003_ok.py",
         "rpl004_ok.py",
         "rpl005_ok.py",
+        "rpl006_ok.py",
+        "rpl007_ok.py",
+        "stream/rpl008_ok.py",
+        "stream/rpl009_ok.py",
         "suppressed_ok.py",
     ],
 )

@@ -17,11 +17,14 @@ re-rounding. Tolerances would hide exactly the class of bug this suite
 exists to catch.
 """
 
+import inspect
+
 import pytest
 
 from repro.core import DophyConfig, DophySystem
 from repro.net.faults import FaultPlan, SinkOutage
 from repro.net.fastsim import FastArqMac
+from repro.sanitize import diff_fingerprints, sanitize_run
 from repro.workloads.scenarios import (
     bursty_rgg_scenario,
     drifting_line_scenario,
@@ -180,6 +183,65 @@ def test_ack_losses_fall_back_entirely():
     assert sim_array.mac.bufferable_edges == 0
     array = sim_array.run()
     _assert_results_identical(event, array)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_engines_fingerprint_equivalent(seed):
+    """Runtime-sanitizer form of the bit-identity contract: per-stream
+    RNG value sequences match across engines (batching tolerated via the
+    block-tail allowance; an extra *call* would be flagged)."""
+    with sanitize_run("event") as san_event:
+        _run(dynamic_rgg_scenario, {"num_nodes": 16}, "event", seed)
+    with sanitize_run("array") as san_array:
+        _run(dynamic_rgg_scenario, {"num_nodes": 16}, "array", seed)
+    fp_event = san_event.fingerprint()
+    fp_array = san_array.fingerprint()
+    divergences = diff_fingerprints(fp_event, fp_array, mode="stream")
+    assert divergences == [], "\n".join(d.describe() for d in divergences)
+    # Same engine, same seed: strict call-interleaving equality too.
+    with sanitize_run("array-again") as san_again:
+        _run(dynamic_rgg_scenario, {"num_nodes": 16}, "array", seed)
+    assert diff_fingerprints(fp_array, san_again.fingerprint(),
+                             mode="global") == []
+
+
+def test_injected_extra_draw_is_named_with_site_and_index(monkeypatch):
+    """Acceptance criterion: smuggle one extra draw into the array fast
+    path and the sanitizer report must name the exact file:line of the
+    smuggled call, its stream, and the draw index."""
+    original_send = FastArqMac.send
+    state = {}
+
+    def tampered_send(self, sender, receiver, start_time):
+        plan = self._plans.get((sender, receiver))
+        if plan is not None and "line" not in state:
+            state["line"] = inspect.currentframe().f_lineno + 2
+            state["stream"] = getattr(plan.rng, "stream_name", None)
+            plan.rng.random()  # the smuggled extra draw
+        return original_send(self, sender, receiver, start_time)
+
+    with sanitize_run("array-clean") as clean:
+        _run(dynamic_rgg_scenario, {"num_nodes": 16}, "array", 13)
+    monkeypatch.setattr(FastArqMac, "send", tampered_send)
+    with sanitize_run("array-tampered") as tampered:
+        _run(dynamic_rgg_scenario, {"num_nodes": 16}, "array", 13)
+
+    divergences = diff_fingerprints(
+        clean.fingerprint(), tampered.fingerprint(), mode="global"
+    )
+    assert divergences, "the smuggled draw must be caught"
+    div = divergences[0]
+    assert div.stream == state["stream"]
+    assert div.index is not None
+    expected_site = f"test_fastsim_differential.py:{state['line']}"
+    assert expected_site in (div.site_b or ""), div.describe()
+    # The cross-engine (stream-mode) contract breaks too: downstream
+    # behaviour shifted, so the matched-value prefix cannot cover both.
+    with sanitize_run("event") as san_event:
+        _run(dynamic_rgg_scenario, {"num_nodes": 16}, "event", 13)
+    assert diff_fingerprints(
+        san_event.fingerprint(), tampered.fingerprint(), mode="stream"
+    ) != []
 
 
 def test_bufferable_classification():

@@ -1,0 +1,154 @@
+"""Sanitizer core: wrap-at-creation, zero-overhead-off, exact recording."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.net.sim import Simulator
+from repro.sanitize import Fingerprint, hooks, sanitize_run, value_bits
+from repro.sanitize.tracer import TracedGenerator
+from repro.utils.rng import RngRegistry, derive_rng
+
+
+@pytest.fixture
+def sanitizer_off():
+    """Force the off state even when the whole pytest run was launched
+    under REPRO_SANITIZE=1 (the env-activated sanitizer is global)."""
+    previous = hooks.deactivate()
+    try:
+        yield
+    finally:
+        if previous is not None:
+            hooks.activate(previous)
+
+
+def test_off_by_default_returns_raw_generator(sanitizer_off):
+    gen = derive_rng(7, "link", 1, 2)
+    assert type(gen) is np.random.Generator
+
+
+def test_wrap_at_creation_inside_context(sanitizer_off):
+    with sanitize_run("t"):
+        gen = derive_rng(7, "link", 1, 2)
+        assert isinstance(gen, TracedGenerator)
+        assert gen.stream_name == "link/1/2"
+    # Context exited: new streams are raw again.
+    assert type(derive_rng(7, "link", 1, 2)) is np.random.Generator
+
+
+def test_registry_caches_wrapped_proxy():
+    with sanitize_run("t"):
+        reg = RngRegistry(3)
+        g1 = reg.get("traffic", 0)
+        g2 = reg.get("traffic", 0)
+        assert g1 is g2
+        assert isinstance(g1, TracedGenerator)
+
+
+def test_tracing_never_perturbs_the_stream():
+    raw = derive_rng(11, "s").random(20)
+    with sanitize_run("t"):
+        traced = derive_rng(11, "s")
+        got = np.array([traced.random() for _ in range(10)] + list(traced.random(10)))
+    assert np.array_equal(raw, got)
+
+
+def test_draws_recorded_with_stream_index_and_site():
+    with sanitize_run("t") as san:
+        gen = derive_rng(5, "arq", 3)
+        gen.random()
+        gen.normal(size=4)
+    fp = san.fingerprint()
+    records = fp.stream_records("arq/3")
+    assert [r.count for r in records] == [1, 4]
+    assert [r.start for r in records] == [0, 1]
+    assert records[0].method == "random"
+    assert records[1].method == "normal"
+    for rec in records:
+        assert "test_tracer.py" in rec.site
+        assert "test_draws_recorded_with_stream_index_and_site" in rec.site
+
+
+def test_value_bits_are_exact_float_patterns():
+    assert value_bits(0.0) != value_bits(-0.0)
+    assert value_bits(1.5) == (np.float64(1.5).view(np.uint64).item(),)
+    assert value_bits(np.array([1.5, -0.0])) == (
+        value_bits(1.5)[0],
+        value_bits(-0.0)[0],
+    )
+    assert value_bits(7) == (7,)
+    assert value_bits(-1) == (0xFFFFFFFFFFFFFFFF,)
+    assert value_bits(np.arange(3, dtype=np.int64)) == (0, 1, 2)
+    assert value_bits(None) == ()
+
+
+def test_simulator_records_pop_order():
+    with sanitize_run("t") as san:
+        sim = Simulator()
+        order = []
+        sim.at(2.0, order.append, "b")
+        sim.at(1.0, order.append, "a")
+        sim.run_until(5.0)
+    fp = san.fingerprint()
+    assert order == ["a", "b"]
+    assert [t for t, _ in fp.pops] == [1.0, 2.0]
+    assert fp.pops[0][1] != fp.pops[1][1]  # distinct tie-break seqs
+
+
+def test_simulator_off_records_nothing(sanitizer_off):
+    sim = Simulator()
+    sim.at(1.0, lambda: None)
+    sim.run_until(2.0)
+    assert sim._san is None
+
+
+def test_fingerprint_json_roundtrip(tmp_path):
+    with sanitize_run("roundtrip") as san:
+        gen = derive_rng(5, "s")
+        gen.random(3)
+        san.record_pop(1.25, 4)
+        san.record_effect("wal-append", "shard-000.wal", 1)
+    fp = san.fingerprint()
+    path = tmp_path / "fp.json"
+    fp.save(path)
+    back = Fingerprint.load(path)
+    assert back.label == "roundtrip"
+    assert back.draws == fp.draws
+    assert back.pops == fp.pops
+    assert back.effects == fp.effects
+
+
+def test_nested_contexts_restore_previous():
+    with sanitize_run("outer") as outer:
+        derive_rng(1, "a").random()
+        with sanitize_run("inner") as inner:
+            derive_rng(1, "b").random()
+        derive_rng(1, "c").random()
+    assert set(outer.fingerprint().stream_names()) == {"a", "c"}
+    assert inner.fingerprint().stream_names() == ["b"]
+
+
+def test_env_activation_in_subprocess():
+    code = (
+        "import repro.sanitize.hooks as h; "
+        "from repro.utils.rng import derive_rng; "
+        "from repro.sanitize.tracer import TracedGenerator; "
+        "assert h.ACTIVE is not None; "
+        "assert isinstance(derive_rng(1, 's'), TracedGenerator); "
+        "print('ok')"
+    )
+    src = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+    env = dict(os.environ, REPRO_SANITIZE="1")
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.abspath(src), env.get("PYTHONPATH", "")])
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], env=env, capture_output=True, text=True
+    )
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.strip() == "ok"

@@ -158,6 +158,59 @@ class TestProcessResume:
         assert shard.estimator.state_dict() == before
 
 
+class TestEffectProtocol:
+    """Runtime-sanitizer wiring: the durability-effect stream of every
+    sink run — clean, crashing, quarantining, resuming — satisfies the
+    ordering protocol RPL008 checks statically (WAL append dominates
+    apply; manifest dominates checkpoint truncation). Restores
+    legitimately change the effect *log*; they must never bend the
+    protocol."""
+
+    def _protocol(self, fn):
+        from repro.sanitize import sanitize_run, verify_effect_protocol
+
+        with sanitize_run("crash-recovery") as san:
+            fn()
+        fingerprint = san.fingerprint()
+        assert fingerprint.effects, "sink run must record durability effects"
+        return verify_effect_protocol(fingerprint)
+
+    def test_clean_run_protocol_holds(self, bundle):
+        assert self._protocol(lambda: run_sink(bundle)) == []
+
+    def test_crash_restore_protocol_holds(self, bundle):
+        faults = ShardFaultPlan(seed=3, crash_at=((3, 1), (5, 0)))
+        assert self._protocol(lambda: run_sink(bundle, faults=faults)) == []
+
+    def test_quarantine_protocol_holds(self, bundle):
+        config = SinkConfig(
+            n_shards=3,
+            merge_every=4,
+            alerts=None,
+            retry=RetryPolicy(max_restarts=1),
+        )
+        faults = ShardFaultPlan(
+            seed=3, crash_at=tuple((r, 1) for r in range(1, 60))
+        )
+        assert (
+            self._protocol(
+                lambda: run_sink(bundle, config=config, faults=faults)
+            )
+            == []
+        )
+
+    def test_process_resume_protocol_holds(self, bundle):
+        def resumed_run():
+            store = MemoryStore()
+            first = StreamingSink(bundle.max_attempts, store, CFG)
+            gen = first.run(bundle.records)
+            next(gen)  # one snapshot, then the process "dies"
+            resumed = StreamingSink.resume(store)
+            list(resumed.run(bundle.records))
+
+        assert self._protocol(resumed_run) == []
+
+
 class TestSupervisor:
     def test_backoff_schedule_is_exponential_and_capped(self):
         policy = RetryPolicy(max_restarts=10, backoff_base=1, backoff_cap=8)
