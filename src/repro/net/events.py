@@ -22,6 +22,16 @@ released when ``forward_delay == 0``), and the simulator's determinism
 guarantee requires that such ties resolve identically on every engine,
 platform and run. Cancellation is lazy in both queues: cancelled
 entries stay in place and are skipped when they surface.
+
+Both queues also expose ``peek_time`` — the earliest *live* event's
+timestamp, skipping cancelled entries. The simulator surfaces it as
+:meth:`repro.net.sim.Simulator.peek_event_time`, where it serves as the
+batched forwarder's inlining horizon: a multi-hop journey may only be
+resolved inline strictly before the next pending event. Skipping
+cancelled entries keeps that horizon tight; reporting one would merely
+over-defer (still exact, just slower), so laziness is safe here —
+``peek_time`` must only never report a time *later* than the next live
+event.
 """
 
 from __future__ import annotations

@@ -19,8 +19,8 @@ queueing, routing trees, failures, observers — in the shared
   vectorized numpy blocks and resolves whole ARQ exchanges against the
   buffered values;
 * :class:`VectorizedEtxSampler` — computes a beacon round's noisy ETX
-  samples for *all* directed edges at once (block normal draws, array
-  loss/ETX arithmetic) and is installed via
+  samples for *all* directed edges at once (block lognormal draws,
+  array loss/ETX arithmetic) and is installed via
   :meth:`~repro.net.routing.RoutingEngine.set_etx_sampler`;
 * :func:`array_simulator` — a :class:`~repro.net.sim.Simulator` backed
   by the bucketed :class:`~repro.net.events.CalendarQueue` wheel instead
@@ -44,13 +44,26 @@ trick below is therefore paired with the argument for exactness:
   than a closed-form multiply, which would round differently.
 * Vectorized ETX arithmetic uses only single IEEE-754 operations
   (subtract, multiply, maximum, divide) that are bitwise identical to
-  their scalar Python counterparts — but the lognormal noise factor is
-  ``math.exp`` applied per element, because ``np.exp`` is a different
-  (vectorized) implementation and differs from ``math.exp`` in the last
-  ulp for some inputs.
-* Models that cannot be replayed against one buffered uniform per
-  attempt (stateful Gilbert–Elliott chains, ``ack_losses=True``
-  configurations) fall back to the exact scalar path per edge; the
+  their scalar Python counterparts; the lognormal noise factor is one
+  block ``Generator.lognormal`` draw, which computes ``exp(normal)``
+  per element with the same C ``exp`` (and the same stream state) as
+  the scalar per-edge ``lognormal`` calls of the reference loop. (A
+  plain ``np.exp`` over a block of normals would NOT qualify — it is a
+  different vectorized implementation that differs in the last ulp for
+  some inputs, which is why the noise is drawn as lognormal on both
+  engines rather than exponentiated after the fact.)
+* Stateful Gilbert–Elliott chains declare ``chain_replayable`` and are
+  replayed against *two* buffered uniforms per attempt through
+  :meth:`~repro.net.link.GilbertElliottLink.chain_step`, which consumes
+  the pair in exactly the order ``sample`` draws them (transition
+  first, then loss in the post-transition state) and mutates the same
+  chain state object — so the per-edge stream position *and* the chain
+  state match the oracle after every exchange. The fast path is gated
+  by ``ge_chain_replay`` so the exact-scalar fallback stays reachable
+  as a differential control.
+* Models that are neither threshold-shaped nor chain-replayable, and
+  every edge when ``ack_losses=True`` makes ACK frames traverse the
+  lossy reverse link, fall back to the exact scalar path per edge; the
   per-edge stream granularity makes mixing safe.
 
 The contract is pinned by ``tests/net/test_fastsim_differential.py``
@@ -61,7 +74,6 @@ on both engines.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -75,9 +87,12 @@ from repro.net.sim import Simulator
 __all__ = ["FastArqMac", "VectorizedEtxSampler", "array_simulator"]
 
 #: Uniform draws buffered per directed edge and refill. ARQ exchanges
-#: consume ~1/(1-loss) draws each, so one refill covers on the order of
-#: a hundred exchanges while keeping cold-edge waste bounded.
-_BLOCK = 256
+#: consume ~1/(1-loss) draws each, so one refill covers tens of
+#: exchanges. Kept small because the draw+convert cost of a refill is
+#: paid for the whole block while a typical edge consumes only part of
+#: its last block: at 5k nodes the active tree has ~N hot edges and
+#: large blocks turn mostly into discarded tails.
+_BLOCK = 32
 
 
 def array_simulator(*, bucket_width: float = 0.01) -> Simulator:
@@ -92,21 +107,35 @@ def array_simulator(*, bucket_width: float = 0.01) -> Simulator:
 
 
 class _EdgePlan:
-    """Buffered fast-path state for one bufferable directed edge."""
+    """Buffered fast-path state for one bufferable directed edge.
 
-    __slots__ = ("rng", "model", "const_threshold", "vals", "pos")
+    ``chain=True`` marks a chain-replay plan: each attempt consumes two
+    buffered uniforms through ``model.chain_step`` instead of comparing
+    one uniform against a loss threshold.
+
+    ``rng`` starts as None and is derived from the channel's registry on
+    the edge's first exchange: stream derivation is keyed, not
+    positional, so lazy derivation yields the exact generator eager
+    derivation would — and at scale the vast majority of directed edges
+    never carry a frame (only tree edges do), which makes eager per-edge
+    derivation the dominant construction cost.
+    """
+
+    __slots__ = ("rng", "model", "const_threshold", "vals", "pos", "chain")
 
     def __init__(
         self,
-        rng: np.random.Generator,
         model: LinkModel,
         const_threshold: Optional[float],
+        *,
+        chain: bool = False,
     ):
-        self.rng = rng
+        self.rng: Optional[np.random.Generator] = None
         self.model = model
         self.const_threshold = const_threshold
         self.vals: List[float] = []
         self.pos = 0
+        self.chain = chain
 
 
 class FastArqMac:
@@ -122,12 +151,23 @@ class FastArqMac:
     interfered links). Its exchanges then replay buffered draws against
     the model's loss threshold without touching ``Channel.transmit``;
     the realized draw/success counts are folded back in one
-    :meth:`Channel.record_batch` call per exchange. Everything else —
-    stateful Gilbert–Elliott chains, and every edge when ACK frames
-    traverse the lossy reverse link — runs the exact scalar oracle.
+    :meth:`Channel.record_batch` call per exchange. Models that instead
+    declare :attr:`LinkModel.chain_replayable` (Gilbert–Elliott) are
+    replayed two buffered uniforms per attempt through the model's
+    ``chain_step``, mutating the live chain state in oracle order; the
+    ``ge_chain_replay`` flag forces those edges back onto the exact
+    scalar path for differential control runs. Everything else — and
+    every edge when ACK frames traverse the lossy reverse link — runs
+    the exact scalar oracle.
     """
 
-    def __init__(self, channel: Channel, config: Optional[MacConfig] = None):
+    def __init__(
+        self,
+        channel: Channel,
+        config: Optional[MacConfig] = None,
+        *,
+        ge_chain_replay: bool = True,
+    ):
         self.channel = channel
         self.config = config or MacConfig()
         self._exact = ArqMac(channel, self.config)
@@ -136,33 +176,82 @@ class FastArqMac:
         self._tx = self.config.tx_time
         self._step = self.config.tx_time + self.config.retry_interval
         self._max_attempts = self.config.max_attempts
-        self._plans: Dict[Tuple[int, int], _EdgePlan] = {}
-        if not self.config.ack_losses:
-            for u, v in channel.directed_edges():
-                model = channel.model(u, v)
-                # Override check instead of a probe call: classification
-                # must not advance lazy model state (interferer chains).
-                if type(model).uniform_threshold is LinkModel.uniform_threshold:
-                    continue
+        # Classification is lazy, per edge on its first exchange: at
+        # scale only the collection tree's ~N directed edges ever carry
+        # a frame, so eagerly classifying (and allocating plan state
+        # for) every edge of a dense deployment would dominate
+        # construction. A None entry records "classified: exact path".
+        # Plan *kind* is a per-class question, so it is memoized by
+        # model type and each lazy classification costs one dict probe.
+        self._plans: Dict[Tuple[int, int], Optional[_EdgePlan]] = {}
+        self._buffered = not self.config.ack_losses
+        self._ge_chain_replay = ge_chain_replay
+        self._kind_by_type: Dict[type, int] = {}
+
+    _EXACT, _THRESHOLD, _CHAIN = 0, 1, 2
+
+    def _model_kind(self, model: LinkModel) -> int:
+        cls = type(model)
+        kind = self._kind_by_type.get(cls)
+        if kind is None:
+            # Override check instead of a probe call: classification
+            # must not advance lazy model state (interferer chains).
+            if cls.uniform_threshold is not LinkModel.uniform_threshold:
+                kind = self._THRESHOLD
+            elif model.chain_replayable:
+                kind = self._CHAIN
+            else:
+                kind = self._EXACT
+            self._kind_by_type[cls] = kind
+        return kind
+
+    def _classify(self, sender: int, receiver: int) -> Optional[_EdgePlan]:
+        plan: Optional[_EdgePlan] = None
+        if self._buffered:
+            model = self.channel.model(sender, receiver)
+            kind = self._model_kind(model)
+            if kind == self._THRESHOLD:
                 const = (
                     model.uniform_threshold(0.0)
                     if model.time_invariant_loss
                     else None
                 )
-                self._plans[(u, v)] = _EdgePlan(
-                    channel.link_rng(u, v), model, const
-                )
+                plan = _EdgePlan(model, const)
+            elif kind == self._CHAIN and self._ge_chain_replay:
+                plan = _EdgePlan(model, None, chain=True)
+        self._plans[(sender, receiver)] = plan
+        return plan
 
     @property
     def bufferable_edges(self) -> int:
-        """Directed edges on the buffered fast path (diagnostics)."""
-        return len(self._plans)
+        """Directed edges eligible for the buffered fast path (diagnostics).
+
+        Counted by classifying every edge without materializing plan
+        state, so the answer is independent of which edges have carried
+        traffic so far.
+        """
+        if not self._buffered:
+            return 0
+        count = 0
+        for model in self.channel._models.values():
+            kind = self._model_kind(model)
+            if kind == self._THRESHOLD or (
+                kind == self._CHAIN and self._ge_chain_replay
+            ):
+                count += 1
+        return count
 
     def send(self, sender: int, receiver: int, start_time: float) -> MacResult:
         """Run one full ARQ exchange; bit-identical to the oracle's."""
-        plan = self._plans.get((sender, receiver))
+        try:
+            plan = self._plans[(sender, receiver)]
+        except KeyError:
+            plan = self._classify(sender, receiver)
         if plan is None:
             return self._exact.send(sender, receiver, start_time)
+        rng = plan.rng
+        if rng is None:
+            rng = plan.rng = self.channel.link_rng(sender, receiver)
         vals = plan.vals
         pos = plan.pos
         model = plan.model
@@ -172,10 +261,44 @@ class FastArqMac:
         time = start_time
         attempts = 0
         first: Optional[int] = None
+        if plan.chain:
+            # Chain replay: two buffered uniforms per attempt, consumed in
+            # the oracle's order (transition draw, then loss draw in the
+            # post-transition state); the refill check runs before *each*
+            # value because a pair may straddle a block boundary.
+            while attempts < max_attempts:
+                attempts += 1
+                if pos >= len(vals):
+                    vals = rng.random(_BLOCK).tolist()
+                    plan.vals = vals
+                    pos = 0
+                u_transition = vals[pos]
+                pos += 1
+                if pos >= len(vals):
+                    vals = rng.random(_BLOCK).tolist()
+                    plan.vals = vals
+                    pos = 0
+                u_loss = vals[pos]
+                pos += 1
+                if model.chain_step(u_transition, u_loss):
+                    first = attempts
+                    time += self._tx
+                    break
+                time += step
+            plan.pos = pos
+            self.channel.record_batch(
+                sender, receiver, attempts, 1 if first is not None else 0
+            )
+            return MacResult(
+                attempts=attempts,
+                first_received_attempt=first,
+                acked=first is not None,
+                end_time=time,
+            )
         while attempts < max_attempts:
             attempts += 1
             if pos >= len(vals):
-                vals = plan.rng.random(_BLOCK).tolist()
+                vals = rng.random(_BLOCK).tolist()
                 plan.vals = vals
                 pos = 0
             draw = vals[pos]
@@ -219,20 +342,23 @@ class VectorizedEtxSampler:
       instead of a second round of model calls;
     * ETX arithmetic (``1 / max(1e-6, (1-l_fwd)(1-l_rev))``) runs as
       whole-array IEEE-754 ops, bitwise equal to the scalar versions;
-    * noise normals come from one block draw on the same
-      ``("routing", "beacons")`` stream (same values, same post-state as
-      the scalar loop's per-edge draws), exponentiated per element with
-      ``math.exp`` because ``np.exp`` rounds differently in the last ulp.
+    * noise comes from one block ``lognormal`` draw on the same
+      ``("routing", "beacons")`` stream: NumPy's block lognormal draws
+      the same normals and exponentiates with the same C ``exp`` as n
+      scalar ``lognormal`` calls, so values and post-state match the
+      scalar loop's per-edge draws bit for bit (pinned by the
+      differential suite).
     """
 
     def __init__(self, routing: RoutingEngine):
         channel = routing.channel
-        edges = list(routing._estimates.keys())
+        edges = list(routing._edges)
         index = {edge: i for i, edge in enumerate(edges)}
         self._rev = np.asarray(
             [index[(v, u)] for (u, v) in edges], dtype=np.intp
         )
-        models = [channel.model(u, v) for (u, v) in edges]
+        model_map = channel._models
+        models = [model_map[edge] for edge in edges]
         self._static_loss = np.zeros(len(edges), dtype=np.float64)
         self._dynamic: List[Tuple[int, LinkModel]] = []
         for i, model in enumerate(models):
@@ -243,7 +369,7 @@ class VectorizedEtxSampler:
         self._rng = routing._rng
         self._sigma = routing.config.etx_noise_std
 
-    def __call__(self, time: float) -> List[float]:
+    def __call__(self, time: float) -> "np.ndarray":
         if self._dynamic:
             loss = self._static_loss.copy()
             for i, model in self._dynamic:
@@ -253,10 +379,6 @@ class VectorizedEtxSampler:
         success = (1.0 - loss) * (1.0 - loss[self._rev])
         samples = 1.0 / np.maximum(1e-6, success)
         if self._sigma > 0.0:
-            normals = self._rng.normal(0.0, self._sigma, len(samples))
-            noise = np.asarray(
-                [math.exp(x) for x in normals.tolist()], dtype=np.float64
-            )
+            noise = self._rng.lognormal(0.0, self._sigma, len(samples))
             samples = samples * noise
-        result: List[float] = samples.tolist()
-        return result
+        return samples

@@ -47,6 +47,21 @@ class LinkModel(ABC):
     #: array engine's vectorized paths cache per-link loss arrays.
     time_invariant_loss: bool = False
 
+    #: True when sampling this model reads state *shared across links*
+    #: that advances lazily with the queried time (the interferer field).
+    #: The batched forwarder must not query such models at virtual times
+    #: ahead of the simulation clock: doing so would reorder the shared
+    #: chain's advancement relative to other edges' queries and diverge
+    #: from the event oracle. Per-edge state (Gilbert–Elliott) is safe —
+    #: exchanges on one edge are serialized by the sender's radio.
+    shared_state_loss: bool = False
+
+    #: True when ``sample`` consumes exactly *two* uniforms per call —
+    #: a state-transition draw then a loss draw — and the transition is
+    #: replayable via :meth:`chain_step`. Lets the array kernel buffer
+    #: the edge's uniform stream in blocks (Gilbert–Elliott).
+    chain_replayable: bool = False
+
     @abstractmethod
     def sample(self, rng: np.random.Generator, time: float) -> bool:
         """Draw one frame transmission at ``time``; True = received."""
@@ -115,6 +130,8 @@ class GilbertElliottLink(LinkModel):
 
     # The chain state is hidden but the stationary loss is constant.
     time_invariant_loss = True
+    # Exactly two uniforms per sample: transition draw, then loss draw.
+    chain_replayable = True
 
     def __init__(
         self,
@@ -140,7 +157,9 @@ class GilbertElliottLink(LinkModel):
         return self.p_gb / (self.p_gb + self.p_bg)
 
     def sample(self, rng: np.random.Generator, time: float) -> bool:
-        # State transition first, then a draw in the new state.
+        # State transition first, then a draw in the new state. Kept in
+        # lockstep with chain_step below: sample() == chain_step() fed
+        # the same two uniforms, bit for bit.
         if self._in_bad:
             if rng.random() < self.p_bg:
                 self._in_bad = False
@@ -149,6 +168,23 @@ class GilbertElliottLink(LinkModel):
                 self._in_bad = True
         loss = self.loss_bad if self._in_bad else self.loss_good
         return bool(rng.random() >= loss)
+
+    def chain_step(self, u_transition: float, u_loss: float) -> bool:
+        """One frame draw replayed from two pre-drawn uniforms.
+
+        Mirrors :meth:`sample` exactly — same transition comparison,
+        same state mutation, same loss comparison — so the array
+        kernel's buffered blocks (which pre-draw the edge's uniform
+        stream) reproduce the chain's trajectory bit-identically.
+        """
+        if self._in_bad:
+            if u_transition < self.p_bg:
+                self._in_bad = False
+        else:
+            if u_transition < self.p_gb:
+                self._in_bad = True
+        loss = self.loss_bad if self._in_bad else self.loss_good
+        return u_loss >= loss
 
     def true_loss(self, time: float) -> float:
         pi_bad = self.stationary_bad_fraction

@@ -18,9 +18,10 @@ and churn-rate metrics, which both the simulator and the baselines'
 from __future__ import annotations
 
 import heapq
-import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.net.link import Channel
 from repro.net.sim import Simulator
@@ -76,21 +77,6 @@ class ParentChange:
     new_parent: Optional[int]
 
 
-@dataclass
-class _LinkEstimate:
-    """EWMA ETX estimate for one directed link."""
-
-    etx: float = 1.0
-    samples: int = 0
-
-    def update(self, sample: float, alpha: float) -> None:
-        if self.samples == 0:
-            self.etx = sample
-        else:
-            self.etx = (1.0 - alpha) * self.etx + alpha * sample
-        self.samples += 1
-
-
 class RoutingEngine:
     """Maintains the dynamic collection tree."""
 
@@ -105,20 +91,49 @@ class RoutingEngine:
         self.channel = channel
         self.config = config or RoutingConfig()
         self._rng = rng_registry.get("routing", "beacons")
-        self._estimates: Dict[Tuple[int, int], _LinkEstimate] = {
-            edge: _LinkEstimate() for edge in topology.directed_edges()
+        # ETX estimates live in flat arrays indexed by directed-edge slot
+        # (``topology.directed_edges()`` order). Array storage is the
+        # authoritative state: scalar paths index element-wise and the
+        # beacon EWMA / SPT solvers operate on whole arrays. Elementwise
+        # float64 ops are the same IEEE-754 operations as the scalar
+        # loop they replaced (NumPy ufuncs do not fuse multiply-add), so
+        # the stored bits are unchanged.
+        self._edges: List[Tuple[int, int]] = list(topology.directed_edges())
+        self._edge_index: Dict[Tuple[int, int], int] = {
+            edge: i for i, edge in enumerate(self._edges)
         }
+        self._etx: "np.ndarray" = np.ones(len(self._edges), dtype=np.float64)
+        self._etx_samples: "np.ndarray" = np.zeros(len(self._edges), dtype=np.int64)
+        # Hoisted EWMA constants for the per-hop data-sample path.
+        self._data_alpha = self.config.data_alpha
+        self._data_decay = 1.0 - self.config.data_alpha
         self._parent: Dict[int, Optional[int]] = {n: None for n in topology.nodes}
         self._cost: Dict[int, float] = {n: _INFINITY for n in topology.nodes}
         self._cost[topology.sink] = 0.0
         self._alive: Dict[int, bool] = {n: True for n in topology.nodes}
         self.parent_change_log: List[ParentChange] = []
         self._beacon_rounds = 0
-        self._etx_sampler: Optional[Callable[[float], Sequence[float]]] = None
+        self._etx_sampler: Optional[
+            Callable[[float], Union[Sequence[float], "np.ndarray"]]
+        ] = None
+        self._spt_mode = "full"
+        self._spt_cache: Optional[
+            Tuple[
+                List[int],
+                Dict[int, int],
+                "np.ndarray",
+                "np.ndarray",
+                "np.ndarray",
+                "np.ndarray",
+                "np.ndarray",
+                "np.ndarray",
+            ]
+        ] = None
         # Warm start: seed estimates with the true ETX at t=0 (as a network
         # that has been running its estimator for a while would have).
-        for u, v in topology.directed_edges():
-            self._estimates[(u, v)].update(self._true_etx(u, v, 0.0), 1.0)
+        for i, (u, v) in enumerate(self._edges):
+            self._etx[i] = self._true_etx(u, v, 0.0)
+        self._etx_samples[:] = 1
         self._recompute_tree(0.0)
 
     # -- link quality -----------------------------------------------------------
@@ -131,18 +146,20 @@ class RoutingEngine:
         return 1.0 / success
 
     def estimated_etx(self, u: int, v: int) -> float:
-        return self._estimates[(u, v)].etx
+        return float(self._etx[self._edge_index[(u, v)]])
 
     def set_etx_sampler(
-        self, sampler: Optional[Callable[[float], Sequence[float]]]
+        self,
+        sampler: Optional[Callable[[float], Union[Sequence[float], "np.ndarray"]]],
     ) -> None:
         """Install a replacement ETX-sampling kernel for beacon rounds.
 
         ``sampler(time)`` must return one sample per directed edge, in
-        ``self._estimates`` iteration order, drawing its noise from the
-        same ``("routing", "beacons")`` stream the scalar loop uses — the
-        array engine's vectorized sampler is bit-identical by contract
-        (pinned by tests/net/test_fastsim_differential.py).
+        ``self._edges`` order (= ``topology.directed_edges()``), drawing
+        its noise from the same ``("routing", "beacons")`` stream the
+        scalar loop uses — the array engine's vectorized sampler is
+        bit-identical by contract (pinned by
+        tests/net/test_fastsim_differential.py).
         """
         self._etx_sampler = sampler
 
@@ -150,20 +167,33 @@ class RoutingEngine:
         """Sample every link's ETX (noisily), update EWMAs, rebuild the tree."""
         sigma = self.config.etx_noise_std
         alpha = self.config.etx_alpha
+        decay = 1.0 - alpha
         if self._etx_sampler is not None:
-            # Inlined _LinkEstimate.update (same arithmetic, same branch):
-            # one beacon round touches every edge, so the method-call
-            # overhead is the dominant cost left after vectorized sampling.
-            decay = 1.0 - alpha
-            for est, sample in zip(self._estimates.values(), self._etx_sampler(time)):
-                est.etx = sample if est.samples == 0 else decay * est.etx + alpha * sample
-                est.samples += 1
+            # Whole-array EWMA: fl(fl(decay*e) + fl(alpha*s)) per element
+            # is exactly the scalar update's arithmetic (no fused ops).
+            samples = np.asarray(self._etx_sampler(time), dtype=np.float64)
+            self._etx = np.where(
+                self._etx_samples == 0,
+                samples,
+                decay * self._etx + alpha * samples,
+            )
+            self._etx_samples += 1
         else:
-            for (u, v), est in self._estimates.items():
+            etx = self._etx
+            counts = self._etx_samples
+            for i, (u, v) in enumerate(self._edges):
                 sample = self._true_etx(u, v, time)
                 if sigma > 0:
-                    sample *= math.exp(float(self._rng.normal(0.0, sigma)))
-                est.update(sample, alpha)
+                    # lognormal(0, s) draws exp(normal(0, s)) from the same
+                    # stream with the same bits as the explicit two-step
+                    # form, and unlike it also has a block-draw shape the
+                    # vectorized sampler can match exactly.
+                    sample *= float(self._rng.lognormal(0.0, sigma))
+                if counts[i] == 0:
+                    etx[i] = sample
+                else:
+                    etx[i] = decay * float(etx[i]) + alpha * sample
+                counts[i] += 1
         self._beacon_rounds += 1
         self._recompute_tree(time)
 
@@ -171,7 +201,13 @@ class RoutingEngine:
         """Feed an observed ARQ attempt count back into the (u, v) estimate."""
         if not self.config.data_driven_updates:
             return
-        self._estimates[(u, v)].update(float(attempts), self.config.data_alpha)
+        etx = self._etx
+        i = self._edge_index[(u, v)]
+        if self._etx_samples[i] == 0:
+            etx[i] = float(attempts)
+        else:
+            etx[i] = self._data_decay * float(etx[i]) + self._data_alpha * attempts
+        self._etx_samples[i] += 1
 
     # -- node liveness -------------------------------------------------------------
 
@@ -193,19 +229,45 @@ class RoutingEngine:
 
     # -- tree computation ---------------------------------------------------------
 
+    def set_spt_mode(self, mode: str) -> None:
+        """Select the shortest-path kernel backing ``_recompute_tree``.
+
+        ``"full"`` is the reference heap Dijkstra (the differential
+        oracle); ``"incremental"`` is the vectorized Bellman–Ford solver
+        seeded from the previous round's tree. Both produce bit-identical
+        ``(best_parent, dist)`` solutions (see
+        :meth:`_solve_spt_incremental` for the argument), so the
+        hysteresis and cycle-repair decisions downstream are identical.
+        """
+        if mode not in ("full", "incremental"):
+            raise ValueError(f"unknown SPT mode: {mode!r}")
+        self._spt_mode = mode
+
     def _recompute_tree(self, time: float) -> None:
-        """Dijkstra over estimated ETX, then hysteresis-gated parent updates.
+        """Shortest paths over estimated ETX, then hysteresis-gated updates.
 
         Dead nodes are skipped entirely: they cannot be parents, routes
         cannot pass through them, and their own (stale) parents are left
         untouched until they recover.
         """
+        if self._spt_mode == "incremental":
+            best_parent, dist = self._solve_spt_incremental()
+        else:
+            best_parent, dist = self._solve_spt_full()
+        self._apply_parent_updates(best_parent, dist, time)
+
+    def _solve_spt_full(
+        self,
+    ) -> Tuple[Dict[int, Optional[int]], Dict[int, float]]:
+        """Heap Dijkstra over the alive subgraph (the reference solver)."""
         sink = self.topology.sink
         dist: Dict[int, float] = {n: _INFINITY for n in self.topology.nodes}
         best_parent: Dict[int, Optional[int]] = {n: None for n in self.topology.nodes}
         dist[sink] = 0.0
         heap: List[Tuple[float, int]] = [(0.0, sink)]
         visited = set()
+        etx = self._etx
+        eidx = self._edge_index
         while heap:
             d, node = heapq.heappop(heap)
             if node in visited:
@@ -215,11 +277,169 @@ class RoutingEngine:
                 if not self._alive[nbr]:
                     continue
                 # Cost for nbr to route *through* node.
-                cand = d + self._estimates[(nbr, node)].etx
+                cand = d + float(etx[eidx[(nbr, node)]])
                 if cand < dist[nbr]:
                     dist[nbr] = cand
                     best_parent[nbr] = node
                     heapq.heappush(heap, (cand, nbr))
+        return best_parent, dist
+
+    def _spt_structure(
+        self,
+    ) -> Tuple[
+        List[int],
+        Dict[int, int],
+        "np.ndarray",
+        "np.ndarray",
+        "np.ndarray",
+        "np.ndarray",
+        "np.ndarray",
+        "np.ndarray",
+    ]:
+        """Static per-topology arrays for the vectorized solver (lazy).
+
+        Directed edges are kept in ``self._edges`` slot order so the
+        weight array is ``self._etx`` itself (no per-call gather), viewed
+        through a stable sort by head node so ``np.minimum.reduceat``
+        can reduce each node's incoming candidates in one shot.
+        """
+        if self._spt_cache is None:
+            nodes = list(self.topology.nodes)
+            index = {n: i for i, n in enumerate(nodes)}
+            edges = self._edges
+            # Estimate key (u, v) prices node u routing *through* v.
+            head = np.asarray([index[u] for (u, v) in edges], dtype=np.intp)
+            tail = np.asarray([index[v] for (u, v) in edges], dtype=np.intp)
+            order = np.argsort(head, kind="stable")
+            heads_sorted = head[order]
+            unique_heads, starts = np.unique(heads_sorted, return_index=True)
+            tail_ids_sorted = np.asarray(
+                [edges[i][1] for i in order.tolist()], dtype=np.int64
+            )
+            self._spt_cache = (
+                nodes,
+                index,
+                tail,
+                order,
+                heads_sorted,
+                unique_heads,
+                starts,
+                tail_ids_sorted,
+            )
+        return self._spt_cache
+
+    def _solve_spt_incremental(
+        self,
+    ) -> Tuple[Dict[int, Optional[int]], Dict[int, float]]:
+        """Vectorized shortest paths, bit-identical to the heap Dijkstra.
+
+        **Distances.** IEEE-754 addition is monotone and ``fl(d + w) >= d``
+        for ``w >= 0``, so both Dijkstra and Bellman–Ford compute the same
+        quantity: the minimum over sink paths of the left-folded rounded
+        sums, i.e. the unique fixpoint of
+
+            dist[n] = min_p fl(dist[p] + w(n, p))    (alive p, sink = 0)
+
+        reached from any starting point between the fixpoint and the
+        all-infinity start within ``num_nodes`` sweeps. We seed the sweeps
+        with the fold of the *new* weights along the previous round's
+        parent chains — every finite seed entry is the cost of a real
+        alive path, hence an upper bound on the fixpoint — so after small
+        churn the solver converges in a couple of sweeps instead of the
+        graph eccentricity ("incremental" in solution, not in semantics).
+
+        **Parents.** Dijkstra pops in ``(dist, node)`` order and only a
+        strict improvement rebinds a parent, so among minimal-cost
+        candidates the winner is the first popped: the argmin under the
+        key ``(fl(dist[p]+w), dist[p], p)``. Three masked ``reduceat``
+        passes replicate that key exactly.
+        """
+        (
+            nodes,
+            index,
+            tail,
+            order,
+            heads_sorted,
+            unique_heads,
+            starts,
+            tail_ids_sorted,
+        ) = self._spt_structure()
+        num = len(nodes)
+        sink = self.topology.sink
+        sink_i = index[sink]
+        weights = self._etx
+        alive = np.fromiter(
+            (self._alive[n] for n in nodes), dtype=bool, count=num
+        )
+        # A dead node selects no parent: its incoming candidates are
+        # masked to +inf, which also keeps its dist at +inf so it never
+        # relays (dist[tail] = inf poisons every path through it).
+        tail_s = tail[order]
+        w_s = np.where(alive[heads_sorted], weights[order], _INFINITY)
+        # Seed: fold the new weights along the old parent chains.
+        parent_i = np.arange(num, dtype=np.intp)
+        parent_w = np.full(num, _INFINITY)
+        for i, n in enumerate(nodes):
+            p = self._parent[n]
+            if n != sink and p is not None and alive[i] and self._alive[p]:
+                parent_i[i] = index[p]
+                parent_w[i] = self._etx[self._edge_index[(n, p)]]
+        dist = np.full(num, _INFINITY)
+        dist[sink_i] = 0.0
+        for _ in range(num):
+            folded = np.minimum(dist, dist[parent_i] + parent_w)
+            folded[sink_i] = 0.0
+            if np.array_equal(folded, dist):
+                break
+            dist = folded
+        # Bellman–Ford sweeps to the fixpoint.
+        for _ in range(num):
+            cand_s = dist[tail_s] + w_s
+            new = np.full(num, _INFINITY)
+            new[unique_heads] = np.minimum.reduceat(cand_s, starts)
+            new[sink_i] = 0.0
+            if np.array_equal(new, dist):
+                break
+            dist = new
+        # Parent selection: argmin of (cand, dist[parent], parent id).
+        dist_tail_s = dist[tail_s]
+        cand_s = dist_tail_s + w_s
+        c_min = np.full(num, _INFINITY)
+        c_min[unique_heads] = np.minimum.reduceat(cand_s, starts)
+        tie1 = cand_s == c_min[heads_sorted]
+        d_masked = np.where(tie1, dist_tail_s, _INFINITY)
+        d_min = np.full(num, _INFINITY)
+        d_min[unique_heads] = np.minimum.reduceat(d_masked, starts)
+        tie2 = tie1 & (d_masked == d_min[heads_sorted])
+        id_sentinel = int(tail_ids_sorted.max()) + 1 if len(tail_ids_sorted) else 0
+        id_masked = np.where(tie2, tail_ids_sorted, id_sentinel)
+        id_min = np.full(num, id_sentinel, dtype=np.int64)
+        id_min[unique_heads] = np.minimum.reduceat(id_masked, starts)
+        dist_list = dist.tolist()
+        c_list = c_min.tolist()
+        id_list = id_min.tolist()
+        best_parent: Dict[int, Optional[int]] = {}
+        dist_out: Dict[int, float] = {}
+        for i, n in enumerate(nodes):
+            dist_out[n] = dist_list[i]
+            best_parent[n] = (
+                None if n == sink or c_list[i] == _INFINITY else int(id_list[i])
+            )
+        return best_parent, dist_out
+
+    def _apply_parent_updates(
+        self,
+        best_parent: Dict[int, Optional[int]],
+        dist: Dict[int, float],
+        time: float,
+    ) -> None:
+        """Hysteresis-gated parent switches, then loop repair.
+
+        Shared verbatim by both SPT solvers so mode choice can only
+        change *how* the solution is computed, never which parents are
+        adopted.
+        """
+        sink = self.topology.sink
         threshold = self.config.parent_switch_threshold
         for node in self.topology.nodes:
             if node == sink or not self._alive[node]:
@@ -279,27 +499,52 @@ class RoutingEngine:
     ) -> None:
         """Force members of any parent cycle onto their fresh Dijkstra choice.
 
-        Fresh edges alone form a tree, so every cycle contains at least
-        one stale edge; each pass converts the stale members to fresh (or
-        detaches them when unreachable this round), strictly shrinking
-        the stale set — termination within num_nodes passes.
+        Fresh edges (strictly increasing dist along child -> parent) can
+        only form forests, so every cycle contains at least one stale
+        edge; each pass converts the current cycle's stale members to
+        fresh (or detaches them when unreachable this round). A node
+        forced fresh never reverts within one repair, so the stale set
+        shrinks monotonically — even when forcing two members onto a
+        shared fresh parent splices a *new* cycle through other stale
+        edges, later passes consume it. If a pass makes no progress at
+        all (every member already fresh — possible only in the rounding
+        corner where ``fl(dist[p] + w) == dist[p]`` makes a fresh-edge
+        cycle cost-stationary), fall through to the detach phase, which
+        breaks each remaining cycle by construction.
         """
         for _ in range(self.topology.num_nodes):
             cycle = self._find_cycle()
             if cycle is None:
                 return
+            progressed = False
             for node in cycle:
                 candidate = best_parent.get(node)
                 if candidate is not None and candidate != self._parent[node]:
                     self._set_parent(node, candidate, True, time)
                     self._cost[node] = dist[node]
-                elif candidate is None:
+                    progressed = True
+                elif candidate is None and self._parent[node] is not None:
                     # Unreachable this round: detach rather than loop.
                     self._set_parent(node, None, True, time)
                     self._cost[node] = _INFINITY
+                    progressed = True
+            if not progressed:
+                break
+        # Guaranteed termination: detach one member per remaining cycle
+        # (each detach removes a parent edge, and the parent graph has at
+        # most num_nodes edges). Unreachable in ordinary float regimes,
+        # but "repair" must mean repaired.
+        cycle = self._find_cycle()
+        while cycle is not None:
+            node = min(cycle)
+            self._set_parent(node, None, True, time)
+            self._cost[node] = _INFINITY
+            cycle = self._find_cycle()
 
     def _cost_through(self, node: int, parent: int) -> float:
-        return self._cost.get(parent, _INFINITY) + self._estimates[(node, parent)].etx
+        return self._cost.get(parent, _INFINITY) + float(
+            self._etx[self._edge_index[(node, parent)]]
+        )
 
     def _set_parent(
         self, node: int, new_parent: Optional[int], _valid: bool, time: float

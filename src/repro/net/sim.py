@@ -10,6 +10,24 @@ The queue is pluggable: the default is the reference
 :class:`~repro.net.events.CalendarQueue` wheel. Both obey the same
 ``(time, insertion)`` ordering contract, so the choice never changes
 which event fires next — only how much the queue costs.
+
+Two small facilities exist for the array engine's batched forwarding
+path (``SimulationConfig.batch_forwarding``):
+
+* **The next-event horizon** (:meth:`peek_event_time`): the earliest
+  still-pending event's timestamp. A packet's multi-hop journey may be
+  resolved inline only up to (strictly before) this horizon: no protocol
+  state whatsoever — routing, liveness, radio occupancy, queues, shared
+  channel state — can change before the next event fires, so every
+  inline leg reads exactly the state the oracle would have read at its
+  virtual time. Any pending event is a horizon, not just control-plane
+  ones: an innocuous-looking traffic creation can cascade into a radio
+  occupancy on the journey's path before the journey's own arrival.
+* **Virtual event credits** (:meth:`credit_events`): when the batched
+  forwarder elides an oracle event (a MAC finish, an inlined forward) or
+  introduces one the oracle lacks (a lazy queue-service event), it
+  credits/debits the counter so :attr:`events_processed` stays equal to
+  the event oracle's count — the differential suite compares it exactly.
 """
 
 from __future__ import annotations
@@ -32,6 +50,7 @@ class Simulator:
         self._queue: QueueLike = queue if queue is not None else EventQueue()
         self._now = 0.0
         self._events_processed = 0
+        self._event_credits = 0
         self._running = False
         # Cached at construction so the hot loop pays one None test per
         # pop only while a sanitizer is tracing this run.
@@ -44,7 +63,26 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        return self._events_processed
+        """Events processed, plus any virtual credits (see module docs)."""
+        return self._events_processed + self._event_credits
+
+    def credit_events(self, count: int) -> None:
+        """Adjust the virtual event counter by ``count`` (may be negative).
+
+        Used by the batched forwarding path to keep ``events_processed``
+        bit-equal to the event oracle's count when oracle events are
+        resolved inline (elided) or extra bookkeeping events are added.
+        """
+        self._event_credits += count
+
+    def peek_event_time(self) -> Optional[float]:
+        """Earliest still-pending event's timestamp, or None if drained.
+
+        This is the batched forwarder's inlining horizon: state observed
+        strictly before this time cannot change, because nothing fires
+        before it (see the module docs).
+        """
+        return self._queue.peek_time()
 
     @property
     def pending_events(self) -> int:

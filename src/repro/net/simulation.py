@@ -30,6 +30,7 @@ from repro.net.mac import ArqMac, MacConfig, MacResult
 from repro.net.packet import Packet
 from repro.net.routing import RoutingConfig, RoutingEngine
 from repro.net.sim import Simulator
+from repro.sanitize import hooks as _sanitize_hooks
 from repro.net.topology import Topology
 from repro.net.trace import GroundTruth
 from repro.utils.rng import RngRegistry
@@ -117,6 +118,26 @@ class SimulationConfig:
     #: produce bit-identical observable streams for identical seeds; the
     #: event engine is the differential oracle pinning the array one.
     engine: str = "event"
+    #: Array engine only: resolve each packet's multi-hop journey inline
+    #: at wake-up (chained MAC exchanges, TTL/drop handling, observer
+    #: callbacks in oracle order), deferring back to per-hop events
+    #: whenever any state could change mid-journey (any pending event at
+    #: or before the arrival), the next hop is contended (busy radio,
+    #: queued packets), the hop would cross the run horizon, or the next
+    #: link reads lazily-advancing shared state (interference). Requires
+    #: ``forward_delay > 0`` (silently ineffective otherwise; a zero
+    #: delay collapses hop arrivals onto exchange finish times, and the
+    #: resulting equal-time ties are ordered by scheduling sequence,
+    #: which batching does not reproduce).
+    batch_forwarding: bool = True
+    #: Array engine only: maintain routing shortest paths with the
+    #: vectorized tree-seeded Bellman–Ford solver instead of the full
+    #: heap Dijkstra. Bit-identical solutions by construction (see
+    #: :meth:`repro.net.routing.RoutingEngine._solve_spt_incremental`).
+    incremental_spt: bool = True
+    #: Array engine only: replay Gilbert–Elliott chains against buffered
+    #: two-uniform draws instead of the exact scalar fallback.
+    ge_chain_replay: bool = True
     mac: MacConfig = field(default_factory=MacConfig)
     routing: RoutingConfig = field(default_factory=RoutingConfig)
 
@@ -190,15 +211,26 @@ class CollectionSimulation:
             channel = Channel.build(topology, assigner, self.rng)
         self.channel = channel
         use_array = self.config.engine == "array"
+        self._batch = bool(
+            use_array
+            and self.config.batch_forwarding
+            and self.config.forward_delay > 0
+        )
         self.sim = array_simulator() if use_array else Simulator()
         self.routing = RoutingEngine(topology, channel, self.rng, self.config.routing)
         self.mac: Union[ArqMac, FastArqMac] = ArqMac(channel, self.config.mac)
         if use_array:
-            # Swap the two batched hot paths in; all protocol logic below
-            # is engine-agnostic, which is what keeps the observable
+            # Swap the batched hot paths in; all protocol logic below is
+            # engine-agnostic, which is what keeps the observable
             # streams bit-identical across engines (see net/fastsim.py).
-            self.mac = FastArqMac(channel, self.config.mac)
+            self.mac = FastArqMac(
+                channel,
+                self.config.mac,
+                ge_chain_replay=self.config.ge_chain_replay,
+            )
             self.routing.set_etx_sampler(VectorizedEtxSampler(self.routing))
+            if self.config.incremental_spt:
+                self.routing.set_spt_mode("incremental")
         self.ground_truth = GroundTruth(channel)
         self.observers: List[CollectionObserver] = list(observers)
         self.packets: List[Packet] = []
@@ -208,6 +240,19 @@ class CollectionSimulation:
         self._busy: Dict[int, bool] = {n: False for n in topology.nodes}
         self._queues: Dict[int, deque] = {n: deque() for n in topology.nodes}
         self._started = False
+        # Batched-forwarding state (array engine, see _run_chain): lazy
+        # busy horizons replace the _busy flag + finish events (a node is
+        # busy iff now < _busy_until[node]), queue servicing becomes an
+        # explicitly scheduled event, and inline legs must never resolve
+        # links that read lazily-advancing shared state at future times.
+        self._busy_until: Dict[int, float] = {n: 0.0 for n in topology.nodes}
+        self._service_pending: Dict[int, bool] = {n: False for n in topology.nodes}
+        self._run_horizon = self.config.duration + 10.0
+        self._shared_edges = frozenset(
+            edge
+            for edge in channel.directed_edges()
+            if channel.model(*edge).shared_state_loss
+        )
 
     def is_alive(self, node: int) -> bool:
         return self._alive[node]
@@ -239,10 +284,14 @@ class CollectionSimulation:
         if self.failure_plan is None:
             return
         for event in self.failure_plan:
-            alive = event.kind == "recover"
+            # Args-based scheduling instead of the default-arg lambda
+            # idiom: bindings are explicit at the call site, so a later
+            # edit cannot silently reintroduce late-binding capture.
             self.sim.at(
                 event.time,
-                lambda node=event.node, alive=alive: self._set_node_state(node, alive),
+                self._set_node_state,
+                event.node,
+                event.kind == "recover",
             )
 
     def _set_node_state(self, node: int, alive: bool) -> None:
@@ -290,7 +339,8 @@ class CollectionSimulation:
         self.ground_truth.record_generated(packet)
         for obs in self.observers:
             obs.on_packet_created(packet, self.sim.now)
-        self.sim.after(0.0, lambda: self._forward(packet, origin))
+        forward = self._forward_batched if self._batch else self._forward
+        self.sim.after(0.0, forward, packet, origin)
 
     # -- forwarding --------------------------------------------------------------
     #
@@ -343,7 +393,7 @@ class CollectionSimulation:
         else:
             result = self.mac.send(node, parent, self.sim.now)
         self._busy[node] = True
-        self.sim.at(result.end_time, lambda: self._finish_exchange(node))
+        self.sim.at(result.end_time, self._finish_exchange, node)
         self.routing.on_data_sample(node, parent, result.attempts, self.sim.now)
         self.ground_truth.record_hop(node, parent, result)
         packet.record_hop(node, parent, result.attempts, result.end_time, result.received)
@@ -353,7 +403,7 @@ class CollectionSimulation:
             for obs in self.observers:
                 obs.on_hop_delivered(packet, node, parent, first, result.end_time)
             delay = (result.end_time - self.sim.now) + self.config.forward_delay
-            self.sim.after(delay, lambda: self._forward(packet, parent))
+            self.sim.after(delay, self._forward, packet, parent)
         else:
             self._drop(packet, "retries")
 
@@ -368,18 +418,192 @@ class CollectionSimulation:
         if queue:
             self._start_exchange(queue.popleft(), node)
 
+    # -- batched forwarding (array engine) -----------------------------------------
+    #
+    # ``batch_forwarding`` replaces the per-hop event cascade with inline
+    # multi-hop journey resolution at wake-up: one real event runs as many
+    # consecutive exchanges as are provably identical to the oracle's —
+    # every protocol decision (TTL, routes, liveness, drops, observer
+    # callbacks) replayed with the virtual leg time where the oracle would
+    # have used ``sim.now``. A leg is deferred back to a real event when
+    # the oracle's interleaving could matter: delivery (sink-side fault
+    # draws and annotation decoding are order-sensitive across packets),
+    # ANY pending event at or before the arrival (the strict horizon:
+    # even a traffic creation can cascade into a radio occupancy on this
+    # journey's path before the arrival, so no event class is safe to
+    # inline past), a contended next hop (busy radio, queued packets,
+    # pending service — queue mutations happen only at real events so
+    # FIFO order and tail drops are exact), an arrival past the run
+    # horizon (the oracle never pops it), or a next link reading
+    # lazily-advancing shared state (interference fields must be queried
+    # in global time order). Elided finish events and inlined forward
+    # events are credited/debited via ``Simulator.credit_events`` so
+    # ``events_processed`` stays bit-equal to the oracle's count.
+    #
+    # Equal-time ties between unrelated events are resolved by scheduling
+    # sequence, which batching does not replay; such ties require exact
+    # float equality of independently accumulated sums and ``forward_delay
+    # > 0`` keeps hop arrivals off exchange finish times, so they are
+    # measure-zero (asserted by the differential suite, not by construction).
+
+    def _forward_batched(self, packet: Packet, node: int) -> None:
+        """Real-event entry point of the batched path (wake-up)."""
+        if node == self.topology.sink:
+            self._deliver(packet)
+            return
+        now = self.sim.now
+        if (
+            now < self._busy_until[node]
+            or self._queues[node]
+            or self._service_pending[node]
+        ):
+            queue = self._queues[node]
+            if len(queue) >= self.config.queue_capacity:
+                self._drop(packet, "queue_overflow")
+            else:
+                queue.append(packet)
+                self._ensure_service(node)
+            return
+        self._run_chain(packet, node, now)
+
+    def _ensure_service(self, node: int) -> None:
+        """Schedule queue servicing at the node's busy horizon (once).
+
+        The oracle services queues from each exchange's finish event;
+        batching elides those (crediting them), so the first queued
+        arrival buys the service event back — the -1 cancels the elided
+        finish's +1, keeping the count exact. Both adjustments are gated
+        on the run horizon, past which neither event would ever pop.
+        """
+        if self._service_pending[node]:
+            return
+        self._service_pending[node] = True
+        until = self._busy_until[node]
+        self.sim.at(until, self._service_batched, node)
+        if until <= self._run_horizon:
+            self.sim.credit_events(-1)
+
+    def _service_batched(self, node: int) -> None:
+        """Drain the node's queue exactly as the oracle's finish event does:
+        drop-without-exchange packets recurse immediately, the first packet
+        that starts an exchange rebinds servicing to the new busy horizon."""
+        self._service_pending[node] = False
+        queue = self._queues[node]
+        while queue:
+            packet = queue.popleft()
+            if self._run_chain(packet, node, self.sim.now):
+                if queue:
+                    self._ensure_service(node)
+                return
+
+    def _run_chain(self, packet: Packet, node: int, start: float) -> bool:
+        """Resolve the packet's journey inline from ``node`` at ``start``.
+
+        Returns True when the first leg started an ARQ exchange at
+        ``node`` (i.e. occupied its radio), which is what queue servicing
+        needs to know. ``start`` equals ``sim.now`` for the first leg;
+        continuation legs run at virtual arrival times strictly before
+        the next pending event, where the whole protocol state is
+        provably frozen.
+        """
+        cfg = self.config
+        mac_cfg = cfg.mac
+        sink = self.topology.sink
+        cur, t = node, start
+        started_first = False
+        first_leg = True
+        while True:
+            if not self._alive[cur]:
+                # The holding node died before it could forward (only
+                # reachable on the first leg: liveness cannot change
+                # before an inlined continuation's arrival).
+                self._drop(packet, "node_failed", time=t)
+                break
+            if len(packet.hops) >= cfg.max_hops:
+                self._drop(packet, "ttl", time=t)
+                break
+            parent = self.routing.parent(cur)
+            if parent is None:
+                self._drop(packet, "no_route", time=t)
+                break
+            if not self._alive[parent]:
+                # Receiver's radio is off: every attempt times out, no
+                # frames traverse the channel (same float expression as
+                # the oracle's).
+                end = t + mac_cfg.max_attempts * (
+                    mac_cfg.tx_time + mac_cfg.retry_interval
+                )
+                result = MacResult(
+                    attempts=mac_cfg.max_attempts,
+                    first_received_attempt=None,
+                    acked=False,
+                    end_time=end,
+                )
+            else:
+                result = self.mac.send(cur, parent, t)
+            self._busy_until[cur] = result.end_time
+            if first_leg:
+                started_first = True
+            # Credit the elided finish event (the oracle pops one per
+            # started exchange within the horizon; queue servicing, its
+            # only effect, is recreated lazily by _ensure_service).
+            if result.end_time <= self._run_horizon:
+                self.sim.credit_events(1)
+            self.routing.on_data_sample(cur, parent, result.attempts, t)
+            self.ground_truth.record_hop(cur, parent, result)
+            packet.record_hop(
+                cur, parent, result.attempts, result.end_time, result.received
+            )
+            if not result.received:
+                self._drop(packet, "retries", time=t)
+                break
+            first = result.first_received_attempt
+            assert first is not None
+            for obs in self.observers:
+                obs.on_hop_delivered(packet, cur, parent, first, result.end_time)
+            # The oracle's exact arrival expression, with the leg's
+            # virtual start time where it uses sim.now.
+            delay = (result.end_time - t) + cfg.forward_delay
+            arrival = t + delay
+            horizon = self.sim.peek_event_time()
+            grandparent = self.routing.parent(parent)
+            if (
+                parent == sink
+                or arrival > self._run_horizon
+                or (horizon is not None and arrival >= horizon)
+                or arrival < self._busy_until[parent]
+                or self._queues[parent]
+                or self._service_pending[parent]
+                or (
+                    grandparent is not None
+                    and (parent, grandparent) in self._shared_edges
+                )
+            ):
+                self.sim.at(arrival, self._forward_batched, packet, parent)
+                break
+            # Inline continuation: credit the elided forward event.
+            self.sim.credit_events(1)
+            cur, t = parent, arrival
+            first_leg = False
+        return started_first
+
     def _deliver(self, packet: Packet) -> None:
         packet.delivered_at = self.sim.now
         self.ground_truth.record_delivered(packet)
         for obs in self.observers:
             obs.on_packet_delivered(packet, self.sim.now)
 
-    def _drop(self, packet: Packet, reason: str) -> None:
-        packet.dropped_at = self.sim.now
+    def _drop(
+        self, packet: Packet, reason: str, *, time: Optional[float] = None
+    ) -> None:
+        # ``time`` is the virtual leg time of an inlined drop (the oracle
+        # drops at its forward event's timestamp); defaults to the clock.
+        at = self.sim.now if time is None else time
+        packet.dropped_at = at
         packet.drop_reason = reason
         self.ground_truth.record_dropped(packet)
         for obs in self.observers:
-            obs.on_packet_dropped(packet, self.sim.now)
+            obs.on_packet_dropped(packet, at)
 
     # -- execution ------------------------------------------------------------------
 
@@ -388,6 +612,14 @@ class CollectionSimulation:
         if self._started:
             raise RuntimeError("simulation already ran")
         self._started = True
+        if self._batch:
+            # Batching elides/reorders event pops by design, so a tracing
+            # sanitizer tags this run's pop sequence as its own profile;
+            # the stream-mode differ compares pops only between runs with
+            # matching profiles (draw streams stay strictly comparable).
+            active = _sanitize_hooks.ACTIVE
+            if active is not None:
+                active.set_pop_profile("batched-forwarding")
         self.routing.attach(self.sim)
         self._schedule_failures()
         for obs in self.observers:

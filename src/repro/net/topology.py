@@ -15,6 +15,7 @@ import math
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.utils.rng import derive_rng
 
@@ -142,19 +143,34 @@ def random_geometric_topology(
     for attempt in range(max_attempts):
         grow = 1.0 + 0.15 * attempt
         r = base_radius * (grow if radius is None else 1.0)
+        coords = rng.uniform(0.0, side, size=(num_nodes, 2))
         pos: Dict[int, Tuple[float, float]] = {
-            i: (float(x), float(y))
-            for i, (x, y) in enumerate(rng.uniform(0.0, side, size=(num_nodes, 2)))
+            i: (float(x), float(y)) for i, (x, y) in enumerate(coords)
         }
         pos[0] = (0.0, 0.0) if sink_position == "corner" else (side / 2, side / 2)
+        xs = coords[:, 0].copy()
+        ys = coords[:, 1].copy()
+        xs[0], ys[0] = pos[0]
         graph = nx.Graph()
         graph.add_nodes_from(range(num_nodes))
-        for i in range(num_nodes):
-            xi, yi = pos[i]
-            for j in range(i + 1, num_nodes):
-                xj, yj = pos[j]
-                if (xi - xj) ** 2 + (yi - yj) ** 2 <= r * r:
-                    graph.add_edge(i, j)
+        # Blocked pairwise radius test. Identical to the scalar double
+        # loop it replaces: fl(fl(dx*dx) + fl(dy*dy)) <= fl(r*r) per
+        # pair with the same IEEE-754 operations, and row-major
+        # ``nonzero`` preserves the (i ascending, j ascending) edge
+        # insertion order that fixes neighbor-iteration order downstream.
+        # Row blocks bound the temporaries to O(block * n) instead of
+        # O(n^2).
+        r2 = r * r
+        for start in range(0, num_nodes, 256):
+            stop = min(start + 256, num_nodes)
+            dx = xs[start:stop, None] - xs[None, :]
+            d2 = dx * dx
+            dy = ys[start:stop, None] - ys[None, :]
+            d2 += dy * dy
+            ii, jj = np.nonzero(d2 <= r2)
+            ii += start
+            keep = jj > ii
+            graph.add_edges_from(zip(ii[keep].tolist(), jj[keep].tolist()))
         if nx.is_connected(graph):
             return Topology(graph, sink=0, positions=pos)
         if radius is not None:

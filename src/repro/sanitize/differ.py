@@ -198,6 +198,12 @@ def _diff_pops(a: Fingerprint, b: Fingerprint, mode: str) -> List[Divergence]:
         # so a side with *no* pop log at all is a different engine, not
         # a divergence. (Both-sides-present pop logs still must match.)
         return []
+    if mode == "stream" and a.pop_profile != b.pop_profile:
+        # Different pop disciplines (e.g. batched forwarding elides and
+        # reorders pops by design): the sequences are incomparable, while
+        # the draw streams and effects above remain strictly compared.
+        # Global mode stays strict — same-engine runs must match pops.
+        return []
     for i, (pa, pb) in enumerate(zip(a.pops, b.pops)):
         if pa != pb:
             return [

@@ -100,6 +100,13 @@ class Fingerprint:
     draws: List[DrawRecord] = field(default_factory=list)
     pops: List[Tuple[float, int]] = field(default_factory=list)
     effects: List[EffectRecord] = field(default_factory=list)
+    #: Which event-pop discipline produced ``pops``. ``"event"`` is the
+    #: reference one-event-per-protocol-step schedule; the array engine's
+    #: batched forwarding elides and reorders pops by design and tags its
+    #: runs ``"batched-forwarding"``. Stream-mode diffs only compare pop
+    #: sequences between runs with matching profiles — draws and effects
+    #: stay strictly comparable across profiles.
+    pop_profile: str = "event"
 
     # ------------------------------------------------------------------ views
     def stream_names(self) -> List[str]:
@@ -138,6 +145,7 @@ class Fingerprint:
             "draws": [r.to_json() for r in self.draws],
             "pops": [[t, s] for t, s in self.pops],
             "effects": [e.to_json() for e in self.effects],
+            "pop_profile": self.pop_profile,
         }
 
     @classmethod
@@ -154,6 +162,9 @@ class Fingerprint:
             draws=[DrawRecord.from_json(d) for d in data["draws"]],
             pops=[(float(t), int(s)) for t, s in data["pops"]],
             effects=[EffectRecord.from_json(e) for e in data["effects"]],
+            # Absent in documents written before the field existed; those
+            # all predate batched forwarding, hence the "event" profile.
+            pop_profile=str(data.get("pop_profile", "event")),
         )
 
     def save(self, path: Union[str, Path]) -> None:

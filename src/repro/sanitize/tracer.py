@@ -110,6 +110,16 @@ class Sanitizer:
         self._counts: Dict[str, int] = {}
         self._pops: List[Tuple[float, int]] = []
         self._effects: List[EffectRecord] = []
+        self._pop_profile = "event"
+
+    def set_pop_profile(self, profile: str) -> None:
+        """Tag this run's event-pop discipline (see Fingerprint.pop_profile).
+
+        Called by runs whose schedulers intentionally elide or reorder
+        pops (batched forwarding); the differ then restricts pop-sequence
+        comparison to same-profile pairs.
+        """
+        self._pop_profile = profile
 
     # ----------------------------------------------------------------- wiring
     def wrap(self, gen: np.random.Generator, key: Tuple[Any, ...]) -> "TracedGenerator":
@@ -145,6 +155,7 @@ class Sanitizer:
             draws=list(self._draws),
             pops=list(self._pops),
             effects=list(self._effects),
+            pop_profile=self._pop_profile,
         )
 
 

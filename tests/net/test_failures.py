@@ -193,3 +193,44 @@ class TestSimulationWithFailures:
         sim = self.make_sim(None, topo, duration=10.0)
         with pytest.raises(ValueError):
             sim.routing.set_alive(0, False, 0.0)
+
+
+class TestFailureScheduleBindings:
+    """Regression: failure events are scheduled with explicit args, not
+    loop-variable-capturing closures. A late-binding lambda over the plan
+    loop would apply the *last* entry's node/kind to every event, so each
+    node's outage window must match its own plan entry exactly."""
+
+    @pytest.mark.parametrize("engine", ["event", "array"])
+    def test_each_event_binds_its_own_node_and_kind(self, engine):
+        topo = grid_topology(3, 3, diagonal=True)
+        plan = FailurePlan(
+            [
+                FailureEvent(10.0, 3, "fail"),
+                FailureEvent(20.0, 5, "fail"),
+                FailureEvent(40.0, 3, "recover"),
+                FailureEvent(50.0, 5, "recover"),
+            ],
+            sink=0,
+        )
+        sim = CollectionSimulation(
+            topo,
+            seed=9,
+            config=SimulationConfig(
+                duration=70.0,
+                traffic_period=2.0,
+                engine=engine,
+                routing=RoutingConfig(etx_noise_std=0.0),
+            ),
+            link_assigner=uniform_loss_assigner(0.02, 0.1),
+            failure_plan=plan,
+        )
+        result = sim.run()
+        # Dead nodes generate nothing, so each node's creation gap must
+        # cover exactly its own outage window — staggered windows per
+        # node distinguish correct bindings from a shared stale capture.
+        for node, lo, hi in [(3, 10.0, 40.0), (5, 20.0, 50.0)]:
+            times = [p.created_at for p in result.packets if p.origin == node]
+            assert not any(lo <= t < hi for t in times), (node, times)
+            assert any(t < lo for t in times), node
+            assert any(t >= hi for t in times), node

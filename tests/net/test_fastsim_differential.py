@@ -24,6 +24,7 @@ import pytest
 from repro.core import DophyConfig, DophySystem
 from repro.net.faults import FaultPlan, SinkOutage
 from repro.net.fastsim import FastArqMac
+from repro.net.routing import RoutingConfig
 from repro.sanitize import diff_fingerprints, sanitize_run
 from repro.workloads.scenarios import (
     bursty_rgg_scenario,
@@ -36,25 +37,51 @@ from repro.workloads.scenarios import (
     static_grid_scenario,
 )
 
-#: (scenario factory, kwargs) — tree and mesh topologies crossed with
-#: every link-model class the simulator ships, plus node failures.
-#: Durations are trimmed so the whole matrix stays a fast tier-1 suite.
+#: (scenario factory, kwargs, config overrides) — tree and mesh
+#: topologies crossed with every link-model class the simulator ships,
+#: plus node failures, heavy queue contention, and beacon churn fast
+#: enough that routes flip between a packet's hops. Durations are
+#: trimmed so the whole matrix stays a fast tier-1 suite.
 MATRIX = [
-    ("line_tree", line_scenario, {"num_nodes": 6}),
-    ("grid_mesh", static_grid_scenario, {"rows": 4, "cols": 4}),
-    ("rgg_dynamic", dynamic_rgg_scenario, {"num_nodes": 16}),
-    ("rgg_bursty_gilbert_elliott", bursty_rgg_scenario, {"num_nodes": 12}),
-    ("rgg_drifting", drifting_rgg_scenario, {"num_nodes": 12}),
-    ("line_drifting", drifting_line_scenario, {"num_nodes": 6}),
-    ("rgg_node_failures", failing_rgg_scenario, {"num_nodes": 14}),
-    ("rgg_interference", interference_rgg_scenario, {"num_nodes": 14}),
+    ("line_tree", line_scenario, {"num_nodes": 6}, {}),
+    ("grid_mesh", static_grid_scenario, {"rows": 4, "cols": 4}, {}),
+    ("rgg_dynamic", dynamic_rgg_scenario, {"num_nodes": 16}, {}),
+    ("rgg_bursty_gilbert_elliott", bursty_rgg_scenario, {"num_nodes": 12}, {}),
+    ("rgg_drifting", drifting_rgg_scenario, {"num_nodes": 12}, {}),
+    ("line_drifting", drifting_line_scenario, {"num_nodes": 6}, {}),
+    ("rgg_node_failures", failing_rgg_scenario, {"num_nodes": 14}, {}),
+    ("rgg_interference", interference_rgg_scenario, {"num_nodes": 14}, {}),
+    # Mid-journey rerouting: beacons every 0.4 s with near-zero
+    # hysteresis, so parents flip while packets are in flight and the
+    # batched forwarder must fall back at every recompute horizon.
+    (
+        "rgg_rerouting_mid_journey",
+        dynamic_rgg_scenario,
+        {"num_nodes": 16},
+        {
+            "routing": RoutingConfig(
+                beacon_period=0.4, parent_switch_threshold=0.05
+            )
+        },
+    ),
+    # Queue contention: 20× the default offered load, so radios stay
+    # busy, transmit queues fill, and tail drops occur — FIFO order and
+    # overflow decisions must survive batching exactly.
+    (
+        "rgg_queue_contention",
+        dynamic_rgg_scenario,
+        {"num_nodes": 16},
+        {"traffic_period": 0.5},
+    ),
 ]
 
 SEEDS = (13, 1107)
 
 
-def _run(factory, kwargs, engine, seed, observer_factory=None):
-    scenario = factory(**kwargs).with_config(duration=60.0, engine=engine)
+def _run(factory, kwargs, engine, seed, observer_factory=None, cfg=None):
+    scenario = factory(**kwargs).with_config(
+        duration=60.0, engine=engine, **(cfg or {})
+    )
     observers = [observer_factory()] if observer_factory else []
     simulation = scenario.make_simulation(seed, observers=observers)
     result = simulation.run()
@@ -91,11 +118,42 @@ def _assert_results_identical(event, array):
 
 @pytest.mark.parametrize("seed", SEEDS)
 @pytest.mark.parametrize(
-    "factory,kwargs", [(f, k) for _, f, k in MATRIX], ids=[m[0] for m in MATRIX]
+    "factory,kwargs,cfg",
+    [(f, k, c) for _, f, k, c in MATRIX],
+    ids=[m[0] for m in MATRIX],
 )
-def test_engines_bit_identical(factory, kwargs, seed):
-    event, _ = _run(factory, kwargs, "event", seed)
-    array, _ = _run(factory, kwargs, "array", seed)
+def test_engines_bit_identical(factory, kwargs, cfg, seed):
+    event, _ = _run(factory, kwargs, "event", seed, cfg=cfg)
+    array, _ = _run(factory, kwargs, "array", seed, cfg=cfg)
+    _assert_results_identical(event, array)
+
+
+#: Each array-engine acceleration is independently switchable; with any
+#: one disabled (and with all disabled) the engine must still be the
+#: oracle, bit for bit — a knob may change *speed*, never the stream.
+KNOB_SETS = [
+    {"batch_forwarding": False},
+    {"incremental_spt": False},
+    {"ge_chain_replay": False},
+    {"batch_forwarding": False, "incremental_spt": False, "ge_chain_replay": False},
+]
+
+
+@pytest.mark.parametrize(
+    "knobs", KNOB_SETS, ids=["-".join(k) for k in KNOB_SETS]
+)
+@pytest.mark.parametrize(
+    "factory,kwargs",
+    [
+        (dynamic_rgg_scenario, {"num_nodes": 16}),
+        (bursty_rgg_scenario, {"num_nodes": 12}),
+        (failing_rgg_scenario, {"num_nodes": 14}),
+    ],
+    ids=["rgg_dynamic", "rgg_bursty", "rgg_failures"],
+)
+def test_each_knob_individually_pinned(factory, kwargs, knobs):
+    event, _ = _run(factory, kwargs, "event", 13)
+    array, _ = _run(factory, kwargs, "array", 13, cfg=knobs)
     _assert_results_identical(event, array)
 
 
@@ -155,17 +213,21 @@ def test_fault_injection_identical(seed):
     assert report_event.decode_failures + report_event.sink_outage_discards > 0
 
 
-def test_gilbert_elliott_edges_use_exact_fallback():
-    """Stateful chains cannot be replayed against one buffered uniform
-    per attempt; FastArqMac must route every GE edge through the scalar
-    oracle (bit-identity would silently break otherwise)."""
-    simulation = (
-        bursty_rgg_scenario(num_nodes=12)
-        .with_config(duration=60.0, engine="array")
-        .make_simulation(seed=3)
+def test_gilbert_elliott_chain_replay_classification():
+    """GE chains are replayed against buffered uniforms (two per attempt,
+    in the exact transition-then-loss order the scalar oracle draws), so
+    every GE edge is bufferable by default; with the knob off, FastArqMac
+    must route them all through the scalar fallback."""
+    base = bursty_rgg_scenario(num_nodes=12).with_config(
+        duration=60.0, engine="array"
     )
+    simulation = base.make_simulation(seed=3)
     assert isinstance(simulation.mac, FastArqMac)
-    assert simulation.mac.bufferable_edges == 0
+    edges = len(list(simulation.topology.directed_edges()))
+    assert simulation.mac.bufferable_edges == edges
+    fallback = base.with_config(ge_chain_replay=False).make_simulation(seed=3)
+    assert isinstance(fallback.mac, FastArqMac)
+    assert fallback.mac.bufferable_edges == 0
 
 
 def test_ack_losses_fall_back_entirely():
@@ -205,6 +267,39 @@ def test_engines_fingerprint_equivalent(seed):
                              mode="global") == []
 
 
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batched_pop_profile_fingerprints(seed):
+    """Batched forwarding elides and reorders event pops by design, so
+    its runs carry the ``batched-forwarding`` pop profile: stream-mode
+    diffs against any other profile compare draws and effects strictly
+    but skip the pop sequence, while same-profile runs stay strictly
+    pop-identical in global mode."""
+    with sanitize_run("array-batched") as san_batched:
+        _run(dynamic_rgg_scenario, {"num_nodes": 16}, "array", seed)
+    with sanitize_run("array-per-hop") as san_per_hop:
+        _run(
+            dynamic_rgg_scenario,
+            {"num_nodes": 16},
+            "array",
+            seed,
+            cfg={"batch_forwarding": False},
+        )
+    fp_batched = san_batched.fingerprint()
+    fp_per_hop = san_per_hop.fingerprint()
+    assert fp_batched.pop_profile == "batched-forwarding"
+    assert fp_per_hop.pop_profile == "event"
+    # Batching genuinely changes the pop sequence (fewer real events)...
+    assert fp_batched.pops != fp_per_hop.pops
+    # ...yet the observable stream contract still holds across profiles.
+    divergences = diff_fingerprints(fp_per_hop, fp_batched, mode="stream")
+    assert divergences == [], "\n".join(d.describe() for d in divergences)
+    # Same profile, same seed: strict pop-for-pop equality.
+    with sanitize_run("array-batched-again") as san_again:
+        _run(dynamic_rgg_scenario, {"num_nodes": 16}, "array", seed)
+    assert diff_fingerprints(fp_batched, san_again.fingerprint(),
+                             mode="global") == []
+
+
 def test_injected_extra_draw_is_named_with_site_and_index(monkeypatch):
     """Acceptance criterion: smuggle one extra draw into the array fast
     path and the sanitizer report must name the exact file:line of the
@@ -220,18 +315,30 @@ def test_injected_extra_draw_is_named_with_site_and_index(monkeypatch):
             plan.rng.random()  # the smuggled extra draw
         return original_send(self, sender, receiver, start_time)
 
+    # Per-hop forwarding keeps the "event" pop profile, so the final
+    # cross-engine stream diff below still compares pop sequences (the
+    # channel the behaviour shift shows up in: the extra draw changes
+    # attempt counts, hence the event schedule).
+    per_hop = {"batch_forwarding": False}
     with sanitize_run("array-clean") as clean:
-        _run(dynamic_rgg_scenario, {"num_nodes": 16}, "array", 13)
+        _run(dynamic_rgg_scenario, {"num_nodes": 16}, "array", 13, cfg=per_hop)
     monkeypatch.setattr(FastArqMac, "send", tampered_send)
     with sanitize_run("array-tampered") as tampered:
-        _run(dynamic_rgg_scenario, {"num_nodes": 16}, "array", 13)
+        _run(dynamic_rgg_scenario, {"num_nodes": 16}, "array", 13, cfg=per_hop)
 
     divergences = diff_fingerprints(
         clean.fingerprint(), tampered.fingerprint(), mode="global"
     )
     assert divergences, "the smuggled draw must be caught"
     div = divergences[0]
-    assert div.stream == state["stream"]
+    # MAC plans classify lazily, so the first plan-bearing send (where
+    # the tamper fires) is an edge's *second* exchange: the smuggled
+    # draw lands mid-sequence, where the clean run's draw at that global
+    # index belongs to another stream. The diff then reports a
+    # cross-stream call divergence — ``stream`` is ambiguous (None) but
+    # the smuggled stream must still be named in the message.
+    assert div.stream in (None, state["stream"])
+    assert state["stream"] in div.message
     assert div.index is not None
     expected_site = f"test_fastsim_differential.py:{state['line']}"
     assert expected_site in (div.site_b or ""), div.describe()
@@ -245,11 +352,12 @@ def test_injected_extra_draw_is_named_with_site_and_index(monkeypatch):
 
 
 def test_bufferable_classification():
-    """Bernoulli / drifting / interfered links ride the buffered path."""
+    """Bernoulli / drifting / interfered / GE links ride the buffered path."""
     for factory, kwargs in [
         (dynamic_rgg_scenario, {"num_nodes": 12}),
         (drifting_rgg_scenario, {"num_nodes": 12}),
         (interference_rgg_scenario, {"num_nodes": 12}),
+        (bursty_rgg_scenario, {"num_nodes": 12}),
     ]:
         simulation = (
             factory(**kwargs)

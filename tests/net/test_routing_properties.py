@@ -110,3 +110,64 @@ def test_property_data_samples_never_create_loops(seed, samples):
         if i % 5 == 0:
             engine.beacon_round(float(i))
         check_tree_invariants(engine, topo)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    data=st.data(),
+)
+def test_property_spt_modes_identical_and_loop_free(seed, data):
+    """The incremental (tree-seeded Bellman–Ford) solver and the full
+    Dijkstra must agree bit for bit — same parents, same costs, same
+    churn log — after *any* sequence of beacons, failures, recoveries and
+    data samples, and neither may ever leave a parent cycle (the
+    hardened ``_repair_loops`` guarantee)."""
+
+    def build(mode):
+        topo = random_geometric_topology(20, seed=seed % 50)
+        reg = RngRegistry(seed)
+        channel = Channel.build(topo, uniform_loss_assigner(0.05, 0.3), reg)
+        engine = RoutingEngine(
+            topo, channel, reg,
+            RoutingConfig(etx_noise_std=0.5, data_alpha=0.5),
+        )
+        engine.set_spt_mode(mode)
+        return topo, engine
+
+    topo, full = build("full")
+    _, incremental = build("incremental")
+    dead = set()
+    candidates = [n for n in topo.nodes if n != topo.sink]
+    for t in range(14):
+        action = data.draw(
+            st.sampled_from(["beacon", "fail", "recover", "sample"])
+        )
+        if action == "beacon":
+            full.beacon_round(float(t))
+            incremental.beacon_round(float(t))
+        elif action == "fail":
+            node = data.draw(st.sampled_from(candidates))
+            if node not in dead:
+                dead.add(node)
+                full.set_alive(node, False, float(t))
+                incremental.set_alive(node, False, float(t))
+        elif action == "recover":
+            if dead:
+                node = data.draw(st.sampled_from(sorted(dead)))
+                dead.discard(node)
+                full.set_alive(node, True, float(t))
+                incremental.set_alive(node, True, float(t))
+        else:
+            node = data.draw(st.sampled_from(candidates))
+            attempts = data.draw(st.integers(1, 31))
+            parent = full.parent(node)
+            if parent is not None:
+                full.on_data_sample(node, parent, attempts, float(t))
+                incremental.on_data_sample(node, parent, attempts, float(t))
+        check_tree_invariants(full, topo, allow_dead=dead)
+        check_tree_invariants(incremental, topo, allow_dead=dead)
+        assert incremental.tree_snapshot() == full.tree_snapshot()
+        assert incremental.parent_change_log == full.parent_change_log
+        for node in topo.nodes:
+            assert incremental.route_cost(node) == full.route_cost(node)

@@ -237,3 +237,67 @@ class TestConfigValidation:
             SimulationConfig(max_hops=0)
         with pytest.raises(ValueError):
             SimulationConfig(forward_delay=-0.1)
+
+
+class TestDropFinality:
+    """Regression for the forwarding bug sweep: once a packet drops (TTL,
+    retries, no route), no later hop of it may fire — and the drop must
+    not stall the dropping node's transmit queue."""
+
+    @pytest.mark.parametrize("engine", ["event", "array"])
+    def test_ttl_drop_is_final_and_queue_keeps_flowing(self, engine):
+        topo = line_topology(6)
+        sim = CollectionSimulation(
+            topo,
+            seed=4,
+            config=quick_config(
+                duration=80.0, traffic_period=2.0, max_hops=2, engine=engine
+            ),
+            link_assigner=uniform_loss_assigner(0.02, 0.08),
+        )
+        result = sim.run()
+        ttl_dropped = [p for p in result.packets if p.drop_reason == "ttl"]
+        assert ttl_dropped, "far nodes need > 2 hops, so TTL drops must occur"
+        for packet in ttl_dropped:
+            assert not packet.delivered
+            # The TTL check fires *before* a third exchange starts: the
+            # hop trace ends at the budget, and every recorded hop
+            # completed before the drop was declared.
+            assert len(packet.hops) == 2
+            assert all(h.time <= packet.dropped_at for h in packet.hops)
+        # Nodes within the budget still deliver: drops neither wedge the
+        # relays' queues nor leak into other packets' journeys.
+        near = [p for p in result.packets if p.origin in (1, 2)]
+        assert any(p.delivered for p in near)
+        settled = sum(1 for p in result.packets if p.delivered or p.dropped)
+        assert settled >= len(result.packets) - 3  # only in-flight at cutoff
+
+    @pytest.mark.parametrize("engine", ["event", "array"])
+    def test_every_drop_reason_terminates_the_trace(self, engine):
+        topo = random_geometric_topology(14, seed=2)
+        sim = CollectionSimulation(
+            topo,
+            seed=11,
+            config=quick_config(
+                duration=80.0,
+                traffic_period=1.0,
+                max_hops=4,
+                engine=engine,
+                mac=MacConfig(max_retries=1),
+            ),
+            link_assigner=uniform_loss_assigner(0.3, 0.6),
+        )
+        result = sim.run()
+        reasons = {p.drop_reason for p in result.packets if p.dropped}
+        assert "retries" in reasons or "ttl" in reasons
+        for packet in result.packets:
+            if not packet.dropped:
+                continue
+            assert packet.delivered_at is None
+            assert len(packet.hops) <= 4
+            if packet.drop_reason == "retries":
+                # The failed exchange is the last hop on record, marked
+                # undelivered; nothing may follow it.
+                assert packet.hops and not packet.hops[-1].delivered
+            else:
+                assert all(h.delivered for h in packet.hops)
