@@ -19,6 +19,23 @@ from repro.exec import ParallelRunner
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+# Benches resolve RESULTS_DIR relative to *this file*, never the CWD, so
+# they may be launched from anywhere. Materialize it at import time and
+# fail with an actionable message if that is impossible (read-only
+# checkout, this module imported from a location it was copied out of) —
+# better than every bench failing at its final emit() after minutes of
+# simulation, or results silently scattering relative to an odd CWD.
+try:
+    RESULTS_DIR.mkdir(exist_ok=True)
+except OSError as exc:
+    raise RuntimeError(
+        f"cannot create benchmark results dir {RESULTS_DIR} "
+        f"(cwd: {pathlib.Path.cwd()}): {exc}. Benches write their tables "
+        "relative to benchmarks/_common.py, not the CWD — run them as "
+        "`PYTHONPATH=src python -m pytest benchmarks/` from a writable "
+        "checkout."
+    ) from exc
+
 
 def exec_runner(default_jobs: int = 1) -> ParallelRunner:
     """Build the execution engine benches share.
@@ -26,16 +43,22 @@ def exec_runner(default_jobs: int = 1) -> ParallelRunner:
     Environment knobs (benches run under pytest, which has no custom
     flags of its own here):
 
-    * ``REPRO_JOBS``       — worker processes (default: ``default_jobs``);
-    * ``REPRO_CACHE_DIR``  — enable the content-addressed result cache.
+    * ``REPRO_JOBS``           — worker processes (default: ``default_jobs``);
+    * ``REPRO_CACHE_DIR``      — enable the content-addressed result cache;
+    * ``REPRO_SCENARIO_CACHE`` — enable the built-scenario cache
+      (skeleton reuse across seeds/reruns; bit-identical by contract).
 
     Results are byte-identical whatever ``REPRO_JOBS`` is (enforced by
-    ``tests/exec/test_determinism.py``), so the shape assertions at the
-    end of each bench hold at any parallelism.
+    ``tests/exec/test_determinism.py``) and whether either cache is cold
+    or warm, so the shape assertions at the end of each bench hold at
+    any parallelism and cache temperature.
     """
     jobs = int(os.environ.get("REPRO_JOBS", str(default_jobs)))
     cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
-    return ParallelRunner(jobs=jobs, cache_dir=cache_dir)
+    scenario_cache_dir = os.environ.get("REPRO_SCENARIO_CACHE") or None
+    return ParallelRunner(
+        jobs=jobs, cache_dir=cache_dir, scenario_cache_dir=scenario_cache_dir
+    )
 
 
 def exec_footer(runner: ParallelRunner) -> str:

@@ -1,0 +1,236 @@
+"""Performance microbenchmarks: scenario-build fast path.
+
+Times the content-addressed built-scenario cache (``workloads/
+scenario_cache.py``, DESIGN.md §12.5) on the construction phase of the
+F7 5k-node workload — the phase that dominates wall clock once the
+array kernel has collapsed the run phase:
+
+* **cold** — build the skeleton (topology + channel + routing warm
+  start) and persist it, i.e. the price the first run of a sweep pays;
+* **warm** — reload the skeleton from the cache (dense all-Bernoulli
+  model encoding, C-level decode) and re-instantiate;
+* **forked** — derive a sibling seed's skeleton from an already-cached
+  one; only the seed-invariant topology object is reused, every
+  per-seed draw is replayed, so this is exact by construction. Grids
+  have seed-invariant topologies; the dynamic RGG does not, so its
+  new-seed builds go straight to cold (the cache never pays a sibling
+  load it cannot amortize).
+
+Results go to ``benchmarks/results/BENCH_scenario.json`` alongside the
+simulator and estimator trajectories. The bit-identity checks always
+run — a simulation instantiated from a cold store, a warm hit, or a
+fork must produce the same packet stream as a fresh build — while the
+speedup floors are opt-in (``REPRO_PERF=1``) because single-core CI
+containers make wall-clock ratios unreliable. The ≥3× floor sits on
+warm-vs-cold skeleton acquisition at 5k nodes, where reload skips the
+RGG sampling, the ~250k-edge channel draw loop, and the Dijkstra warm
+start. Fork timings are reported without a floor: the grid topology
+build is already vectorized, so forking buys correctness headroom (a
+shared topology object) rather than raw speed.
+"""
+
+import gc
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.workloads import dynamic_rgg_scenario, static_grid_scenario
+from repro.workloads.scenario_cache import ScenarioCache
+
+from _common import RESULTS_DIR, run_once
+
+#: Same 5k-node F7 point as ``bench_perf_simulator.py`` (seed and all),
+#: so the two reports compose: total time there, build phase here.
+F7_SEED = 107
+F7_5K_NODES = 5000
+F7_5K_DURATION = 30.0
+F7_5K_TRAFFIC_PERIOD = 10.0
+
+#: Fork timing runs on a grid of comparable size (71×71 = 5041 nodes)
+#: because forking needs a seed-invariant topology.
+GRID_SIDE = 71
+
+#: Fork bit-identity is asserted at a size where the run completes in
+#: well under a second; the timing grid above only times construction.
+GRID_IDENTITY_SIDE = 12
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        # The preceding phase leaves a 5k-node simulation's garbage
+        # behind; collect it outside the timed window or its collection
+        # lands inside one and skews the sub-second measurements.
+        gc.collect()
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _f7_5k_scenario():
+    return dynamic_rgg_scenario(
+        F7_5K_NODES,
+        churn_noise=0.4,
+        duration=F7_5K_DURATION,
+        traffic_period=F7_5K_TRAFFIC_PERIOD,
+    ).with_config(engine="array")
+
+
+def _phases(scenario, seed, cache):
+    """make_simulation and run timed separately."""
+    gc.collect()
+    t0 = time.perf_counter()
+    sim = scenario.make_simulation(seed, scenario_cache=cache)
+    t1 = time.perf_counter()
+    result = sim.run()
+    t2 = time.perf_counter()
+    return t1 - t0, t2 - t1, result
+
+
+def _bench_f7_5k_build(cache_root):
+    scenario = _f7_5k_scenario()
+    cache = ScenarioCache(cache_root)
+    key = cache.skeleton_key(scenario)
+    entry_path = cache._path(key, F7_SEED)
+
+    fresh_setup = _best_of(lambda: scenario.make_simulation(F7_SEED), 2)
+
+    def cold_once():
+        if entry_path.exists():
+            entry_path.unlink()
+        _, status = cache.get_or_build(scenario, F7_SEED)
+        assert status == "cold", status
+
+    def warm_once():
+        _, status = cache.get_or_build(scenario, F7_SEED)
+        assert status == "warm", status
+
+    cold_s = _best_of(cold_once, 2)
+    warm_s = _best_of(warm_once, 3)
+    warm_setup = _best_of(
+        lambda: scenario.make_simulation(F7_SEED, scenario_cache=cache), 3
+    )
+
+    _, fresh_run, fresh_result = _phases(scenario, F7_SEED, None)
+    _, warm_run, warm_result = _phases(scenario, F7_SEED, cache)
+    identical = (
+        fresh_result.packets == warm_result.packets
+        and fresh_result.events_processed == warm_result.events_processed
+    )
+    return {
+        "nodes": F7_5K_NODES,
+        "duration_s": F7_5K_DURATION,
+        "traffic_period_s": F7_5K_TRAFFIC_PERIOD,
+        "seed": F7_SEED,
+        "engine": "array",
+        "entry_bytes": entry_path.stat().st_size,
+        "cold_build_s": cold_s,
+        "warm_load_s": warm_s,
+        "skeleton_speedup": cold_s / warm_s,
+        "fresh_setup_s": fresh_setup,
+        "warm_setup_s": warm_setup,
+        "setup_speedup": fresh_setup / warm_setup,
+        "fresh_total_s": fresh_setup + fresh_run,
+        "warm_total_s": warm_setup + warm_run,
+        "identical_streams": identical,
+    }
+
+
+def _bench_grid_fork(cache_root):
+    grid = static_grid_scenario(
+        GRID_SIDE,
+        GRID_SIDE,
+        duration=F7_5K_DURATION,
+        traffic_period=F7_5K_TRAFFIC_PERIOD,
+    ).with_config(engine="array")
+    cache = ScenarioCache(cache_root)
+    key = cache.skeleton_key(grid)
+
+    t0 = time.perf_counter()
+    _, status = cache.get_or_build(grid, 1)
+    cold_s = time.perf_counter() - t0
+    assert status == "cold", status
+
+    def fork_once():
+        cache._path(key, 2).unlink(missing_ok=True)
+        _, st = cache.get_or_build(grid, 2)
+        assert st == "forked", st
+
+    def warm_once():
+        _, st = cache.get_or_build(grid, 1)
+        assert st == "warm", st
+
+    fork_s = _best_of(fork_once, 2)
+    warm_s = _best_of(warm_once, 3)
+
+    # Fork bit-identity at a size where the run itself is cheap.
+    small = static_grid_scenario(
+        GRID_IDENTITY_SIDE, GRID_IDENTITY_SIDE, duration=60.0
+    ).with_config(engine="array")
+    small_cache = ScenarioCache(cache_root)
+    _, _, fresh = _phases(small, 2, None)
+    _, st = small_cache.get_or_build(small, 1)
+    assert st == "cold", st
+    _, _, forked = _phases(small, 2, small_cache)
+    assert small_cache.stats["forked"] == 1, small_cache.stats
+    identical = (
+        fresh.packets == forked.packets
+        and fresh.events_processed == forked.events_processed
+    )
+    return {
+        "rows": GRID_SIDE,
+        "cols": GRID_SIDE,
+        "seed_cold": 1,
+        "seed_forked": 2,
+        "cold_build_s": cold_s,
+        "forked_build_s": fork_s,
+        "warm_load_s": warm_s,
+        "fork_speedup": cold_s / fork_s,
+        "identity_grid_side": GRID_IDENTITY_SIDE,
+        "identical_streams": identical,
+    }
+
+
+def _run():
+    with tempfile.TemporaryDirectory(prefix="scenario-cache-") as root:
+        return {
+            "f7_5k_build": _bench_f7_5k_build(Path(root) / "rgg"),
+            "grid_fork": _bench_grid_fork(Path(root) / "grid"),
+        }
+
+
+def test_perf_scenario(benchmark):
+    report = run_once(benchmark, _run)
+
+    # Cross-reference the simulator trajectory: with the event oracle's
+    # 5k totals as the fixed numerator, the warm-cache array total must
+    # beat the fresh-build total_speedup recorded there.
+    sim_path = RESULTS_DIR / "BENCH_simulator.json"
+    if sim_path.exists():
+        sim = json.loads(sim_path.read_text())["f7_5k_run"]
+        event_total = sim["event_setup_s"] + sim["event_run_s"]
+        report["f7_5k_build"]["total_speedup_vs_event"] = (
+            event_total / report["f7_5k_build"]["warm_total_s"]
+        )
+        report["f7_5k_build"]["fresh_total_speedup_baseline"] = sim["total_speedup"]
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_scenario.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\n{json.dumps(report, indent=2)}\n[written to {out}]")
+
+    # Correctness always: cache-served simulations are fresh builds,
+    # observably — cold, warm, and forked alike.
+    assert report["f7_5k_build"]["identical_streams"]
+    assert report["grid_fork"]["identical_streams"]
+
+    if os.environ.get("REPRO_PERF") == "1":
+        # Acceptance floors (run on idle multi-core hardware).
+        f7 = report["f7_5k_build"]
+        assert f7["skeleton_speedup"] >= 3.0, f7
+        assert f7["setup_speedup"] >= 1.5, f7
+        if "total_speedup_vs_event" in f7:
+            assert f7["total_speedup_vs_event"] >= f7["fresh_total_speedup_baseline"], f7

@@ -39,6 +39,8 @@ __all__ = [
     "order_sensitive_params",
     "effects_of",
     "statement_effects",
+    "cache_effects_of",
+    "cache_statement_effects",
 ]
 
 #: Methods that consume values from a Generator/Random stream. The
@@ -412,4 +414,71 @@ def statement_effects(
             out |= base
         elif site.target is not None and site.target in project.functions:
             out |= effects_of(project, project.functions[site.target], {info.qualname})
+    return frozenset(out)
+
+
+# --------------------------------------------------------------------------
+# Cache-write effects (RPL010)
+# --------------------------------------------------------------------------
+
+#: Effect kinds of the content-addressed stores' write path.
+CACHE_FSYNC = "cache-fsync"
+CACHE_REPLACE = "cache-replace"
+
+#: Resolved dotted callees -> cache-write effect. ``replace``/``rename``
+#: deliberately require full resolution (``os.replace``): the bare attrs
+#: collide with ``str.replace`` and ``Path.rename`` on arbitrary values.
+_CACHE_EFFECT_TARGETS: Dict[str, FrozenSet[str]] = {
+    "os.fsync": frozenset({CACHE_FSYNC}),
+    "os.replace": frozenset({CACHE_REPLACE}),
+    "os.rename": frozenset({CACHE_REPLACE}),
+    "shutil.move": frozenset({CACHE_REPLACE}),
+}
+
+#: Bare attribute names distinctive enough to match unresolved calls.
+_CACHE_RAW_ATTRS: Dict[str, FrozenSet[str]] = {
+    "fsync": frozenset({CACHE_FSYNC}),
+}
+
+
+def _cache_base_effects(target: Optional[str], attr: str) -> Optional[FrozenSet[str]]:
+    if target is not None:
+        return _CACHE_EFFECT_TARGETS.get(target)
+    return _CACHE_RAW_ATTRS.get(attr)
+
+
+def cache_effects_of(
+    project: Project,
+    info: FunctionInfo,
+    _seen: Optional[Set[str]] = None,
+) -> FrozenSet[str]:
+    """Transitive cache-write effect set of one function."""
+    seen = _seen if _seen is not None else set()
+    if info.qualname in seen:
+        return frozenset()
+    seen.add(info.qualname)
+    out: Set[str] = set()
+    for site in info.calls:
+        base = _cache_base_effects(site.target, site.attr)
+        if base is not None:
+            out |= base
+            continue
+        if site.target is not None and site.target in project.functions:
+            out |= cache_effects_of(project, project.functions[site.target], seen)
+    return frozenset(out)
+
+
+def cache_statement_effects(
+    project: Project, info: FunctionInfo, stmt: ast.stmt
+) -> FrozenSet[str]:
+    """Cache-write effects one statement of ``info`` performs (transitively)."""
+    out: Set[str] = set()
+    for site in info.calls_in(stmt):
+        base = _cache_base_effects(site.target, site.attr)
+        if base is not None:
+            out |= base
+        elif site.target is not None and site.target in project.functions:
+            out |= cache_effects_of(
+                project, project.functions[site.target], {info.qualname}
+            )
     return frozenset(out)

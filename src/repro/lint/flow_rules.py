@@ -1,4 +1,4 @@
-"""Flow-sensitive determinism rules RPL006–RPL009.
+"""Flow-sensitive determinism rules RPL006–RPL010.
 
 These rules run over the project-wide :class:`~repro.lint.callgraph.Project`
 the engine attaches to :class:`~repro.lint.rules.LintContext`; with no
@@ -20,6 +20,8 @@ from typing import Iterator, List, Tuple
 from repro.lint.callgraph import FunctionInfo
 from repro.lint.dataflow import (
     APPLY,
+    CACHE_FSYNC,
+    CACHE_REPLACE,
     CHECKPOINT,
     MANIFEST,
     WAL_APPEND,
@@ -27,6 +29,7 @@ from repro.lint.dataflow import (
     _is_unordered_value,
     _local_unordered_names,
     _rng_names,
+    cache_statement_effects,
     draw_calls,
     order_sensitive_params,
     rng_module_globals,
@@ -41,7 +44,27 @@ __all__ = [
     "UnorderedRngFlowRule",
     "EffectOrderRule",
     "SwallowedEvidenceRule",
+    "CacheWriteDisciplineRule",
 ]
+
+
+def _sequences(body: List[ast.stmt]) -> Iterator[List[ast.stmt]]:
+    """Straight-line statement sequences: the body itself plus every
+    compound-statement block, recursively (each loop/branch body is
+    checked as its own sequence)."""
+    yield body
+    for stmt in body:
+        for block in _blocks(stmt):
+            yield from _sequences(block)
+
+
+def _blocks(stmt: ast.stmt) -> Iterator[List[ast.stmt]]:
+    for attr in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, attr, None)
+        if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+            yield block
+    for handler in getattr(stmt, "handlers", []):
+        yield list(handler.body)
 
 
 class RngAliasRule(Rule):
@@ -219,26 +242,8 @@ class EffectOrderRule(Rule):
         if "stream" not in Path(ctx.path).parts:
             return
         for info in ctx.module.functions.values():
-            for seq in self._sequences(list(info.node.body)):
+            for seq in _sequences(list(info.node.body)):
                 yield from self._check_sequence(info, seq, ctx)
-
-    def _sequences(self, body: List[ast.stmt]) -> Iterator[List[ast.stmt]]:
-        """Straight-line statement sequences: the body itself plus every
-        compound-statement block, recursively (each loop/branch body is
-        checked as its own sequence)."""
-        yield body
-        for stmt in body:
-            for block in self._blocks(stmt):
-                yield from self._sequences(block)
-
-    @staticmethod
-    def _blocks(stmt: ast.stmt) -> Iterator[List[ast.stmt]]:
-        for attr in ("body", "orelse", "finalbody"):
-            block = getattr(stmt, attr, None)
-            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
-                yield block
-        for handler in getattr(stmt, "handlers", []):
-            yield list(handler.body)
 
     def _check_sequence(
         self, info: FunctionInfo, seq: List[ast.stmt], ctx: LintContext
@@ -310,3 +315,102 @@ class SwallowedEvidenceRule(Rule):
                 continue  # docstring / ellipsis
             return False
         return True
+
+
+class CacheWriteDisciplineRule(Rule):
+    """RPL010 — cache-entry write discipline.
+
+    The content-addressed stores (``exec/cache.py``, ``workloads/
+    scenario_cache.py``) promise readers that every entry they can open
+    is complete and immutable: loads never lock, racing writers converge
+    on identical bytes, and a crash can only lose an entry, never corrupt
+    one. Two code shapes break that promise:
+
+    * publishing the entry (``os.replace``/``os.rename``) *before*
+      fsyncing its bytes — a crash shortly after the rename can surface
+      a truncated entry under the final name;
+    * opening an entry for in-place update (``"r+"``, ``"a"``, ``"w"``
+      on an existing path) — read-modify-write makes concurrent readers
+      see half-rewritten files and breaks the racing-writers-converge
+      argument. Entries are write-once: build a temp file, fsync it,
+      then ``os.replace`` into place.
+
+    The ordering half reuses the RPL008 machinery over cache-write
+    effect summaries; the mode half is syntactic. Scoped to cache-layer
+    files (any path segment containing ``cache``).
+    """
+
+    rule_id = "RPL010"
+    summary = "cache write discipline: fsync before rename-publish; entries immutable"
+
+    #: ``open``/``Path.open`` mode strings that update an entry in place.
+    _INPLACE_MARKS = ("+", "a")
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Violation]:
+        if not any("cache" in part.lower() for part in Path(ctx.path).parts):
+            return
+        yield from self._in_place_opens(tree, ctx)
+        if ctx.project is None or ctx.module is None:
+            return
+        for info in ctx.module.functions.values():
+            for seq in _sequences(list(info.node.body)):
+                yield from self._check_sequence(info, seq, ctx)
+
+    def _in_place_opens(
+        self, tree: ast.Module, ctx: LintContext
+    ) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            mode = self._open_mode(node)
+            if mode is None:
+                continue
+            if any(mark in mode for mark in self._INPLACE_MARKS):
+                yield _violation(
+                    ctx, node, self.rule_id,
+                    f"cache entry opened {mode!r} for in-place update; "
+                    "entries are immutable once published (readers never "
+                    "lock, racing writers must converge) — write a temp "
+                    "file, fsync, then os.replace into place",
+                )
+
+    @staticmethod
+    def _open_mode(call: ast.Call) -> "str | None":
+        """The constant mode string of an ``open``-style call, if any."""
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            args, mode_pos = call.args, 1
+        elif isinstance(func, ast.Attribute) and func.attr == "open":
+            args, mode_pos = call.args, 0
+        else:
+            return None
+        mode: "ast.expr | None" = None
+        if len(args) > mode_pos:
+            mode = args[mode_pos]
+        else:
+            mode = next(
+                (kw.value for kw in call.keywords if kw.arg == "mode"), None
+            )
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        return None
+
+    def _check_sequence(
+        self, info: FunctionInfo, seq: List[ast.stmt], ctx: LintContext
+    ) -> Iterator[Violation]:
+        assert ctx.project is not None
+        effects = [cache_statement_effects(ctx.project, info, stmt) for stmt in seq]
+        if not any(effects):
+            return
+        for i, eff_i in enumerate(effects):
+            if CACHE_REPLACE not in eff_i or CACHE_FSYNC in eff_i:
+                continue
+            if any(CACHE_FSYNC in effects[j] for j in range(i + 1, len(effects))):
+                yield _violation(
+                    ctx, seq[i], self.rule_id,
+                    f"in `{info.qualname}`: entry publish (os.replace) "
+                    "precedes the fsync that makes its bytes durable; a "
+                    "crash in between surfaces a truncated entry under "
+                    "the final name — fsync the temp file, then rename",
+                )
+                break

@@ -643,6 +643,7 @@ def _assemble_rules() -> Tuple[Type[Rule], ...]:
     # Imported lazily: flow_rules subclasses Rule and uses LintContext,
     # so a module-level import here would be circular.
     from repro.lint.flow_rules import (
+        CacheWriteDisciplineRule,
         EffectOrderRule,
         RngAliasRule,
         SwallowedEvidenceRule,
@@ -654,6 +655,7 @@ def _assemble_rules() -> Tuple[Type[Rule], ...]:
         UnorderedRngFlowRule,
         EffectOrderRule,
         SwallowedEvidenceRule,
+        CacheWriteDisciplineRule,
     )
 
 

@@ -84,6 +84,19 @@ class LinkModel(ABC):
     def true_loss(self, time: float) -> float:
         """Instantaneous loss probability at ``time`` (ground truth)."""
 
+    def fresh_copy(self) -> "LinkModel":
+        """An instance equivalent to this one at construction time.
+
+        The scenario cache stores built channels as *prototypes* (never
+        sampled) and hands each instantiation fresh copies so one run's
+        state can never leak into the next. The default — ``self`` — is
+        correct for immutable models (Bernoulli, Drifting); models with
+        per-instance mutable state must override it (Gilbert–Elliott
+        does). Models reading shared state are never cached at all
+        (``shared_state_loss`` channels bypass the cache).
+        """
+        return self
+
     def mean_loss(self, t0: float, t1: float, *, resolution: int = 64) -> float:
         """Average loss probability over [t0, t1] (numeric by default)."""
         if t1 < t0:
@@ -113,6 +126,20 @@ class BernoulliLink(LinkModel):
 
     def mean_loss(self, t0: float, t1: float, *, resolution: int = 64) -> float:
         return self.loss
+
+    @classmethod
+    def _prevalidated(cls, loss: float) -> "BernoulliLink":
+        """Construct without re-validating ``loss``.
+
+        For the batched assigner paths only: the loss comes from
+        ``low + (high - low) * u`` with validated ``low``/``high`` in
+        [0, 1] and ``u`` in [0, 1), so it is a probability by
+        construction and the per-instance range check is pure overhead
+        at 2·|edges| instances.
+        """
+        model = cls.__new__(cls)
+        model.loss = loss
+        return model
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"BernoulliLink(loss={self.loss:.3f})"
@@ -190,6 +217,18 @@ class GilbertElliottLink(LinkModel):
         pi_bad = self.stationary_bad_fraction
         return pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
 
+    def fresh_copy(self) -> "GilbertElliottLink":
+        """Identical-parameter copy carrying this instance's chain state.
+
+        Cached prototypes are never sampled, so their ``_in_bad`` still
+        holds the configured start state and the copy is exactly what
+        the constructor produced (parameters were validated there; a
+        plain field copy skips re-validation).
+        """
+        clone = GilbertElliottLink.__new__(GilbertElliottLink)
+        clone.__dict__.update(self.__dict__)
+        return clone
+
     def mean_loss(self, t0: float, t1: float, *, resolution: int = 64) -> float:
         return self.true_loss(t0)
 
@@ -248,6 +287,16 @@ LinkAssigner = Callable[[int, int, np.random.Generator], LinkModel]
 # Assigners are frozen-dataclass callables rather than closures so that
 # scenarios embedding them can be pickled to process-pool workers
 # (repro.exec) and hashed into stable cache keys.
+#
+# Batched drawing (the ``batch`` methods below) follows the same
+# block-draw discipline as the array kernel (net/fastsim.py):
+# ``Generator.random(n)`` consumes the PCG64 stream exactly as n scalar
+# ``random()`` calls would, and ``Generator.uniform(low, high)`` is
+# ``low + (high - low) * next_double`` — one raw uniform plus the same
+# IEEE-754 multiply/add NumPy's elementwise kernels perform. A batch of
+# k-draw calls therefore replays ``rng.random(k * count)`` reshaped
+# row-major, bit-identical to the scalar call sequence in both values
+# and post-call stream state (pinned by tests/net/test_link.py).
 
 
 @dataclass(frozen=True)
@@ -255,8 +304,18 @@ class _UniformLossAssigner:
     low: float
     high: float
 
+    #: Every call yields a BernoulliLink, so ``Channel.build``'s
+    #: symmetric mode can clone the backward model without a draw.
+    produces_bernoulli = True
+
     def __call__(self, u: int, v: int, rng: np.random.Generator) -> LinkModel:
         return BernoulliLink(float(rng.uniform(self.low, self.high)))
+
+    def batch(self, count: int, rng: np.random.Generator) -> "list[LinkModel]":
+        """Replay ``count`` sequential ``__call__`` draws array-at-once."""
+        raw = rng.random(count)
+        losses = self.low + (self.high - self.low) * raw
+        return [BernoulliLink._prevalidated(x) for x in losses.tolist()]
 
 
 def uniform_loss_assigner(low: float, high: float) -> LinkAssigner:
@@ -282,6 +341,24 @@ class _GilbertElliottAssigner:
             loss_good=float(rng.uniform(*self.loss_good_range)),
             loss_bad=float(rng.uniform(*self.loss_bad_range)),
         )
+
+    def batch(self, count: int, rng: np.random.Generator) -> "list[LinkModel]":
+        """Replay ``count`` sequential two-uniform ``__call__``s at once.
+
+        Each call draws loss_good then loss_bad, so the flat stream is
+        ``[g0, b0, g1, b1, ...]`` — a row-major (count, 2) reshape.
+        """
+        raw = rng.random(2 * count).reshape(count, 2)
+        g_lo, g_hi = self.loss_good_range
+        b_lo, b_hi = self.loss_bad_range
+        goods = g_lo + (g_hi - g_lo) * raw[:, 0]
+        bads = b_lo + (b_hi - b_lo) * raw[:, 1]
+        return [
+            GilbertElliottLink(
+                self.p_good_to_bad, self.p_bad_to_good, loss_good=g, loss_bad=b
+            )
+            for g, b in zip(goods.tolist(), bads.tolist())
+        ]
 
 
 def gilbert_elliott_assigner(
@@ -316,6 +393,27 @@ class _DriftingLossAssigner:
             period=float(rng.uniform(*self.period_range)),
             phase=float(rng.uniform(0.0, 2.0 * math.pi)),
         )
+
+    def batch(self, count: int, rng: np.random.Generator) -> "list[LinkModel]":
+        """Replay ``count`` sequential four-uniform ``__call__``s at once.
+
+        Per-call draw order is base, amplitude, period, phase — a
+        row-major (count, 4) reshape of the flat uniform stream.
+        """
+        raw = rng.random(4 * count).reshape(count, 4)
+        b_lo, b_hi = self.base_range
+        a_lo, a_hi = self.amplitude_range
+        p_lo, p_hi = self.period_range
+        bases = b_lo + (b_hi - b_lo) * raw[:, 0]
+        amps = a_lo + (a_hi - a_lo) * raw[:, 1]
+        periods = p_lo + (p_hi - p_lo) * raw[:, 2]
+        phases = 0.0 + (2.0 * math.pi - 0.0) * raw[:, 3]
+        return [
+            DriftingLink(base_loss=b, amplitude=a, period=p, phase=ph)
+            for b, a, p, ph in zip(
+                bases.tolist(), amps.tolist(), periods.tolist(), phases.tolist()
+            )
+        ]
 
 
 def drifting_loss_assigner(
@@ -377,8 +475,12 @@ class Channel:
         self.topology = topology
         self._models = dict(models)
         self._rng = rng_registry
-        self._draws: Dict[Tuple[int, int], int] = {e: 0 for e in expected}
-        self._successes: Dict[Tuple[int, int], int] = {e: 0 for e in expected}
+        # Keyed off the models dict (deterministic build order) rather
+        # than the validation set, so counter iteration order can never
+        # depend on hash-set ordering.
+        self._draws: Dict[Tuple[int, int], int] = dict.fromkeys(self._models, 0)
+        self._successes: Dict[Tuple[int, int], int] = dict.fromkeys(self._models, 0)
+        self._shared_edges: Optional[frozenset] = None
 
     @classmethod
     def build(
@@ -398,14 +500,35 @@ class Channel:
         """
         models: Dict[Tuple[int, int], LinkModel] = {}
         assign_rng = rng_registry.get("channel", "assign")
-        for u, v in topology.undirected_edges():
-            forward = assigner(u, v, assign_rng)
-            if symmetric and isinstance(forward, BernoulliLink):
-                backward: LinkModel = BernoulliLink(forward.loss)
+        edges = topology.undirected_edges()
+        batch = getattr(assigner, "batch", None)
+        if batch is not None and (
+            not symmetric or getattr(assigner, "produces_bernoulli", False)
+        ):
+            # Array-at-once parameter draws. ``batch`` replays the exact
+            # per-call uniform stream of the scalar loop below (see the
+            # block-draw discipline note above), so both the model
+            # parameters and the post-build RNG state are bit-identical.
+            if symmetric:
+                # Scalar path draws forward only and clones backward.
+                for (u, v), fwd in zip(edges, batch(len(edges), assign_rng)):
+                    models[(u, v)] = fwd
+                    models[(v, u)] = BernoulliLink._prevalidated(fwd.loss)  # type: ignore[attr-defined]
             else:
-                backward = assigner(v, u, assign_rng)
-            models[(u, v)] = forward
-            models[(v, u)] = backward
+                # Scalar interleaving is fwd, bwd per physical link.
+                drawn = iter(batch(2 * len(edges), assign_rng))
+                for u, v in edges:
+                    models[(u, v)] = next(drawn)
+                    models[(v, u)] = next(drawn)
+        else:
+            for u, v in edges:
+                forward = assigner(u, v, assign_rng)
+                if symmetric and isinstance(forward, BernoulliLink):
+                    backward: LinkModel = BernoulliLink(forward.loss)
+                else:
+                    backward = assigner(v, u, assign_rng)
+                models[(u, v)] = forward
+                models[(v, u)] = backward
         return cls(topology, models, rng_registry)
 
     def model(self, sender: int, receiver: int) -> LinkModel:
@@ -467,6 +590,27 @@ class Channel:
 
     def directed_edges(self) -> Iterable[Tuple[int, int]]:
         return self._models.keys()
+
+    def shared_state_edges(self) -> "frozenset[Tuple[int, int]]":
+        """Directed edges whose model reads cross-link shared state.
+
+        Memoized: models are assigned at construction and never swapped.
+        The common case (no shared-state model *class* present at all)
+        short-circuits without touching every instance, which matters at
+        5k-node scale where the per-instance scan is ~500k attribute
+        reads on a path that almost always yields the empty set.
+        """
+        if self._shared_edges is None:
+            classes = {type(m) for m in self._models.values()}
+            if not any(c.shared_state_loss for c in classes):
+                self._shared_edges = frozenset()
+            else:
+                self._shared_edges = frozenset(
+                    edge
+                    for edge, model in self._models.items()
+                    if model.shared_state_loss
+                )
+        return self._shared_edges
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Channel(edges={len(self._models)})"

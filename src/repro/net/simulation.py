@@ -28,7 +28,7 @@ from repro.net.fastsim import FastArqMac, VectorizedEtxSampler, array_simulator
 from repro.net.link import Channel, LinkAssigner, uniform_loss_assigner
 from repro.net.mac import ArqMac, MacConfig, MacResult
 from repro.net.packet import Packet
-from repro.net.routing import RoutingConfig, RoutingEngine
+from repro.net.routing import RoutingConfig, RoutingEngine, RoutingWarmState
 from repro.net.sim import Simulator
 from repro.sanitize import hooks as _sanitize_hooks
 from repro.net.topology import Topology
@@ -41,7 +41,13 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "CollectionSimulation",
+    "DEFAULT_LINK_ASSIGNER",
 ]
+
+#: Fallback link regime when a simulation is given neither a channel nor
+#: an assigner. Module-level so the scenario cache's skeleton builder
+#: (workloads/scenario_cache.py) applies the identical default.
+DEFAULT_LINK_ASSIGNER = uniform_loss_assigner(0.05, 0.3)
 
 
 class CollectionObserver(Protocol):
@@ -200,6 +206,7 @@ class CollectionSimulation:
         channel: Optional[Channel] = None,
         observers: Sequence[CollectionObserver] = (),
         failure_plan: Optional[FailurePlan] = None,
+        routing_warm_state: Optional[RoutingWarmState] = None,
     ):
         self.topology = topology
         self.config = config or SimulationConfig()
@@ -207,7 +214,7 @@ class CollectionSimulation:
         if channel is not None and link_assigner is not None:
             raise ValueError("pass either channel or link_assigner, not both")
         if channel is None:
-            assigner = link_assigner or uniform_loss_assigner(0.05, 0.3)
+            assigner = link_assigner or DEFAULT_LINK_ASSIGNER
             channel = Channel.build(topology, assigner, self.rng)
         self.channel = channel
         use_array = self.config.engine == "array"
@@ -217,7 +224,13 @@ class CollectionSimulation:
             and self.config.forward_delay > 0
         )
         self.sim = array_simulator() if use_array else Simulator()
-        self.routing = RoutingEngine(topology, channel, self.rng, self.config.routing)
+        self.routing = RoutingEngine(
+            topology,
+            channel,
+            self.rng,
+            self.config.routing,
+            warm_state=routing_warm_state,
+        )
         self.mac: Union[ArqMac, FastArqMac] = ArqMac(channel, self.config.mac)
         if use_array:
             # Swap the batched hot paths in; all protocol logic below is
@@ -248,11 +261,7 @@ class CollectionSimulation:
         self._busy_until: Dict[int, float] = {n: 0.0 for n in topology.nodes}
         self._service_pending: Dict[int, bool] = {n: False for n in topology.nodes}
         self._run_horizon = self.config.duration + 10.0
-        self._shared_edges = frozenset(
-            edge
-            for edge in channel.directed_edges()
-            if channel.model(*edge).shared_state_loss
-        )
+        self._shared_edges = channel.shared_state_edges()
 
     def is_alive(self, node: int) -> bool:
         return self._alive[node]

@@ -29,7 +29,13 @@ __all__ = [
 
 
 class Topology:
-    """Undirected connectivity graph with positions and a sink node."""
+    """Undirected connectivity graph with positions and a sink node.
+
+    Instances are immutable after construction, so all derived views —
+    the sorted edge lists, the sink-hop map — are computed once and
+    memoized. The memoized sequences are tuples: callers can iterate,
+    index and ``list()`` them but cannot mutate the shared copies.
+    """
 
     def __init__(
         self,
@@ -41,14 +47,54 @@ class Topology:
             raise ValueError(f"sink {sink} is not a node of the graph")
         if graph.number_of_nodes() < 2:
             raise ValueError("topology needs at least two nodes")
-        if not nx.is_connected(graph):
-            raise ValueError("topology must be connected")
         self.graph = graph
         self.sink = sink
         self.positions = positions or {}
-        self._hops_to_sink: Dict[int, int] = dict(
-            nx.single_source_shortest_path_length(graph, sink)
-        )
+        # One vectorized BFS yields both the hop counts and the
+        # connectivity check (connected iff every node was reached),
+        # replacing nx.is_connected + nx BFS — two Python-level graph
+        # traversals — on the construction path.
+        self._hops_to_sink: Dict[int, int] = self._bfs_hops()
+        self._undirected: Optional[Tuple[Tuple[int, int], ...]] = None
+        self._directed: Optional[Tuple[Tuple[int, int], ...]] = None
+        self._upstream: Optional[Tuple[Tuple[int, int], ...]] = None
+
+    def _bfs_hops(self) -> Dict[int, int]:
+        """Hop counts from the sink for every node, via a frontier BFS
+        over flat edge arrays. Raises if the graph is disconnected.
+
+        Produces exactly the distances ``nx.single_source_shortest_path_length``
+        returns (BFS levels are unique, whatever the traversal order).
+        """
+        nodes = sorted(self.graph.nodes)
+        num = len(nodes)
+        index = {n: i for i, n in enumerate(nodes)}
+        if self.graph.number_of_edges() == 0:
+            raise ValueError("topology must be connected")
+        us, vs = zip(*self.graph.edges)
+        u_idx = np.fromiter((index[u] for u in us), dtype=np.intp, count=len(us))
+        v_idx = np.fromiter((index[v] for v in vs), dtype=np.intp, count=len(vs))
+        src = np.concatenate([u_idx, v_idx])
+        dst = np.concatenate([v_idx, u_idx])
+        order = np.argsort(src, kind="stable")
+        src_sorted = src[order]
+        dst_sorted = dst[order]
+        starts = np.searchsorted(src_sorted, np.arange(num + 1))
+        dist = np.full(num, -1, dtype=np.int64)
+        frontier = np.asarray([index[self.sink]], dtype=np.intp)
+        dist[frontier] = 0
+        level = 0
+        while frontier.size:
+            level += 1
+            reached = np.concatenate(
+                [dst_sorted[starts[i] : starts[i + 1]] for i in frontier.tolist()]
+            )
+            fresh = np.unique(reached[dist[reached] < 0])
+            dist[fresh] = level
+            frontier = fresh
+        if (dist < 0).any():
+            raise ValueError("topology must be connected")
+        return {n: int(d) for n, d in zip(nodes, dist.tolist())}
 
     # -- queries -----------------------------------------------------------------
 
@@ -67,29 +113,41 @@ class Topology:
     def neighbors(self, node: int) -> List[int]:
         return sorted(self.graph.neighbors(node))
 
-    def undirected_edges(self) -> List[Tuple[int, int]]:
-        """Each physical link once, as (min, max)."""
-        return sorted((min(u, v), max(u, v)) for u, v in self.graph.edges)
+    def undirected_edges(self) -> Tuple[Tuple[int, int], ...]:
+        """Each physical link once, as (min, max). Memoized, immutable."""
+        if self._undirected is None:
+            self._undirected = tuple(
+                sorted((min(u, v), max(u, v)) for u, v in self.graph.edges)
+            )
+        return self._undirected
 
-    def directed_edges(self) -> List[Tuple[int, int]]:
-        """Both directions of every physical link."""
-        out: List[Tuple[int, int]] = []
-        for u, v in self.graph.edges:
-            out.append((u, v))
-            out.append((v, u))
-        return sorted(out)
+    def directed_edges(self) -> Tuple[Tuple[int, int], ...]:
+        """Both directions of every physical link. Memoized, immutable."""
+        if self._directed is None:
+            out: List[Tuple[int, int]] = []
+            for u, v in self.graph.edges:
+                out.append((u, v))
+                out.append((v, u))
+            self._directed = tuple(sorted(out))
+        return self._directed
 
-    def upstream_edges(self) -> List[Tuple[int, int]]:
+    def upstream_edges(self) -> Tuple[Tuple[int, int], ...]:
         """Directed edges (u, v) where v is at most as far from the sink as u.
 
         These are the links data traffic can use under loop-free collection
         routing — the set tomography approaches attempt to estimate.
+        Memoized, immutable.
         """
-        return sorted(
-            (u, v)
-            for u, v in self.directed_edges()
-            if self._hops_to_sink[v] <= self._hops_to_sink[u] and u != self.sink
-        )
+        if self._upstream is None:
+            self._upstream = tuple(
+                sorted(
+                    (u, v)
+                    for u, v in self.directed_edges()
+                    if self._hops_to_sink[v] <= self._hops_to_sink[u]
+                    and u != self.sink
+                )
+            )
+        return self._upstream
 
     def hops_to_sink(self, node: int) -> int:
         return self._hops_to_sink[node]
@@ -195,26 +253,34 @@ def grid_topology(
     """
     if rows < 1 or cols < 1 or rows * cols < 2:
         raise ValueError("grid must contain at least two nodes")
-    graph = nx.Graph()
-    positions: Dict[int, Tuple[float, float]] = {}
-
-    def node_id(r: int, c: int) -> int:
-        return r * cols + c
-
-    for r in range(rows):
-        for c in range(cols):
-            nid = node_id(r, c)
-            graph.add_node(nid)
-            positions[nid] = (c * spacing, r * spacing)
+    num = rows * cols
+    r = np.repeat(np.arange(rows), cols)
+    c = np.tile(np.arange(cols), rows)
+    # Positions: same per-element float products as the scalar loop
+    # (``c * spacing``, ``r * spacing``), evaluated array-at-once.
+    xs = c * spacing
+    ys = r * spacing
+    positions: Dict[int, Tuple[float, float]] = {
+        i: (float(x), float(y)) for i, (x, y) in enumerate(zip(xs, ys))
+    }
     offsets = [(0, 1), (1, 0)]
     if diagonal:
         offsets += [(1, 1), (1, -1)]
-    for r in range(rows):
-        for c in range(cols):
-            for dr, dc in offsets:
-                rr, cc = r + dr, c + dc
-                if 0 <= rr < rows and 0 <= cc < cols:
-                    graph.add_edge(node_id(r, c), node_id(rr, cc))
+    # Candidate neighbours as an (n, k) block; the row-major boolean
+    # flatten replays the scalar loop's exact edge insertion order
+    # (node-major, offsets inner).
+    dr = np.asarray([d for d, _ in offsets])
+    dc = np.asarray([d for _, d in offsets])
+    rr = r[:, None] + dr[None, :]
+    cc = c[:, None] + dc[None, :]
+    valid = (rr >= 0) & (rr < rows) & (cc >= 0) & (cc < cols)
+    nid = r * cols + c
+    nbr = rr * cols + cc
+    us = np.broadcast_to(nid[:, None], valid.shape)[valid]
+    vs = nbr[valid]
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num))
+    graph.add_edges_from(zip(us.tolist(), vs.tolist()))
     return Topology(graph, sink=0, positions=positions)
 
 
@@ -227,7 +293,10 @@ def line_topology(num_nodes: int, *, spacing: float = 1.0) -> Topology:
     if num_nodes < 2:
         raise ValueError("num_nodes must be >= 2")
     graph = nx.path_graph(num_nodes)
-    positions = {i: (i * spacing, 0.0) for i in range(num_nodes)}
+    # Same per-element product as ``i * spacing`` in the scalar dict
+    # comprehension, drawn array-at-once.
+    xs = np.arange(num_nodes) * spacing
+    positions = {i: (float(x), 0.0) for i, x in enumerate(xs)}
     return Topology(graph, sink=0, positions=positions)
 
 

@@ -1,6 +1,6 @@
 """Runtime RNG/ordering sanitizer — the dynamic half of reprolint.
 
-The static rules (RPL001–RPL009) flag code *shapes* that can break
+The static rules (RPL001–RPL010) flag code *shapes* that can break
 determinism; this package observes the *run* itself. With a sanitizer
 active, every seeded RNG stream is wrapped in a recording proxy at
 creation, the simulator logs its event-queue pop order, and the

@@ -1,0 +1,412 @@
+"""Content-addressed cache of built scenarios (skeleton/instantiation split).
+
+Scenario construction — topology, channel layout, link-model parameter
+draws, routing bootstrap — is engine-independent and, at 5k nodes,
+rivals the run phase of the array kernel. This module splits
+:meth:`repro.workloads.scenarios.Scenario.make_simulation` into:
+
+* a **skeleton**: everything deterministic given ``(scenario, seed)``
+  and expensive to recompute — the :class:`BuiltScenario` below. The
+  cache *key* digests only the scenario description (which excludes the
+  seed), so all seeds of one scenario share a directory and a new seed
+  can **fork** a sibling's skeleton: seed-invariant parts (line/grid
+  topologies, marked via :func:`seed_invariant_topology`) are reused
+  outright, seed-dependent parts (RGG placement, link-model parameter
+  draws) are replayed through the vectorized builders. A forked skeleton
+  is *identical* to a cold-built one by construction — both run the same
+  deterministic builders from ``RngRegistry(seed)`` — so cache hits,
+  forks and cold builds can never yield different simulations whatever
+  order concurrent workers populate the cache in.
+
+* an **instantiation**: per-run mutable state — a fresh
+  :class:`~repro.utils.rng.RngRegistry`, :meth:`LinkModel.fresh_copy`
+  clones of the cached model prototypes (which are never sampled), a new
+  :class:`~repro.net.link.Channel` with zeroed counters, and a routing
+  engine restored from the captured
+  :class:`~repro.net.routing.RoutingWarmState` (construction consumes no
+  RNG, so restore is bit-identical to rebuild).
+
+Bit-identity contract: a simulation instantiated from a cached or forked
+skeleton produces byte-identical packet streams, traces, and sanitizer
+fingerprints to a freshly built one (pinned by
+``tests/workloads/test_scenario_cache.py`` and the golden suite run with
+the cache hot and cold). Two caveats are enforced by
+:meth:`ScenarioCache.applicable`:
+
+* scenarios with a ``link_assigner_factory`` (interference fields) are
+  bypassed — their models read lazily-advancing *shared* state whose
+  construction draws belong to the run, and prototype cloning cannot
+  isolate a shared field;
+* runs under the RNG sanitizer (``REPRO_SANITIZE=1``) are bypassed — a
+  cache hit legitimately skips the ``("channel", "assign")`` stream, but
+  fingerprints must stay stream-for-stream comparable to fresh builds.
+
+On-disk layout mirrors :mod:`repro.exec.cache` (two-level fan-out, one
+directory per skeleton key, one entry per seed)::
+
+    <root>/<key[:2]>/<key>/<seed>.pkl
+
+Writes are atomic and durable — ``mkstemp`` + ``fsync`` + ``os.replace``
+— so a crashed or concurrent writer can never leave a truncated entry;
+racing writers of the same ``(key, seed)`` converge on identical bytes.
+The write discipline is lint-enforced (reprolint RPL010).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import deque
+from dataclasses import dataclass, replace
+from functools import partial
+from itertools import repeat
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exec.hashing import code_version, stable_describe, stable_digest
+from repro.net.failures import FailurePlan
+from repro.net.link import BernoulliLink, Channel, LinkModel
+from repro.net.routing import RoutingEngine, RoutingWarmState
+from repro.net.topology import Topology
+from repro.utils.rng import RngRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workloads.scenarios import Scenario
+
+__all__ = [
+    "BuiltScenario",
+    "ScenarioCache",
+    "build_scenario",
+    "fork_built",
+    "seed_invariant_topology",
+]
+
+#: Version tag baked into every skeleton key; bump on layout changes.
+_SKELETON_KEY = "scenario-skeleton/v1"
+
+#: Entry format tags for the dense all-Bernoulli model encodings.
+_MODELS_DENSE = "bernoulli-dense/v1"
+_MODELS_INTERLEAVED = "bernoulli-interleaved/v1"
+
+
+def _interleaved_keys(topology: Topology) -> list:
+    """Directed-edge keys in ``Channel.build`` insertion order:
+    ``(u, v), (v, u)`` per undirected edge."""
+    return [
+        key for u, v in topology.undirected_edges() for key in ((u, v), (v, u))
+    ]
+
+
+def _encode_models_dense(
+    models: Dict[Tuple[int, int], LinkModel], topology: Topology
+) -> Optional[Dict[str, Any]]:
+    """Array encoding of an all-Bernoulli model map, or None.
+
+    A 5k-node RGG carries ~250k link models; pickling them as objects
+    dominates warm-load time. When every model is exactly a
+    :class:`BernoulliLink` (the uniform-assigner scenarios, i.e. the
+    scale sweeps this cache exists for), a loss array holds the same
+    information losslessly — ``loss`` is the only state, and float64
+    round-trips exactly, so the decoded map is bit-identical.
+
+    The edge keys normally need no storage either: ``Channel.build``
+    inserts ``(u, v), (v, u)`` per undirected edge, so the key sequence
+    is derivable from the (already stored) topology. That is *verified*
+    here, not assumed — a map in any other order keeps an explicit edge
+    array.
+    """
+    if any(type(m) is not BernoulliLink for m in models.values()):
+        return None
+    losses = np.fromiter(
+        (m.loss for m in models.values()), dtype=np.float64, count=len(models)
+    )
+    if list(models) == _interleaved_keys(topology):
+        return {"format": _MODELS_INTERLEAVED, "losses": losses}
+    edges = np.fromiter(
+        (i for edge in models for i in edge), dtype=np.int64, count=2 * len(models)
+    ).reshape(-1, 2)
+    return {"format": _MODELS_DENSE, "edges": edges, "losses": losses}
+
+
+def _decode_models_dense(
+    dense: Dict[str, Any], topology: Topology
+) -> Dict[Tuple[int, int], LinkModel]:
+    # A 5k-node warm hit decodes ~250k models; everything here runs at
+    # C level (list comprehension, ``map(setattr, ...)``, ``dict(zip)``)
+    # because a per-item Python loop costs more than unpickling the
+    # objects would, defeating the dense encoding's purpose.
+    new, cls = BernoulliLink.__new__, BernoulliLink
+    losses = dense["losses"].tolist()
+    objs = [new(cls) for _ in losses]
+    deque(map(setattr, objs, repeat("loss"), losses), maxlen=0)
+    if dense["format"] == _MODELS_INTERLEAVED:
+        keys = _interleaved_keys(topology)
+    else:
+        keys = list(map(tuple, dense["edges"].tolist()))
+    return dict(zip(keys, objs))
+
+
+@dataclass(frozen=True)
+class BuiltScenario:
+    """The expensive, deterministic product of scenario construction.
+
+    Everything here is either immutable (topology, failure plan) or a
+    prototype that instantiation copies before use (``models`` via
+    :meth:`LinkModel.fresh_copy`, ``routing_warm`` via dict/array
+    copies), so one skeleton can back any number of concurrent runs.
+    """
+
+    #: The seed this skeleton was built for (forks rebuild per seed).
+    seed: int
+    topology: Topology
+    #: Directed edge -> link-model prototype, in ``Channel.build`` order.
+    models: Dict[Tuple[int, int], LinkModel]
+    failure_plan: Optional[FailurePlan]
+    routing_warm: RoutingWarmState
+    #: True when every model class's ``fresh_copy`` is the identity
+    #: (stateless models) — instantiation may then alias ``models``
+    #: instead of walking a quarter-million no-op copies.
+    models_immutable: bool = False
+
+
+def seed_invariant_topology(factory: Callable[[int], Topology]) -> bool:
+    """True when ``factory`` ignores its seed (line/grid recipes).
+
+    Factories declare this with a ``seed_invariant = True`` function
+    attribute (set on the module-level builders in
+    :mod:`repro.workloads.scenarios`); partials inherit it from the
+    wrapped function. Seed-dependent factories (RGG) default to False
+    and are rebuilt per seed on fork.
+    """
+    fn = factory.func if isinstance(factory, partial) else factory
+    return bool(getattr(fn, "seed_invariant", False))
+
+
+def _finish_build(
+    scenario: "Scenario", seed: int, topology: Topology
+) -> BuiltScenario:
+    """Channel + failure plan + routing bootstrap for a given topology.
+
+    Runs exactly the deterministic construction the fresh
+    ``make_simulation`` path performs (same RNG keys, same builders), so
+    the resulting skeleton is interchangeable with a fresh build.
+    """
+    from repro.net.simulation import DEFAULT_LINK_ASSIGNER
+
+    plan = (
+        scenario.failure_plan_factory(topology, seed)
+        if scenario.failure_plan_factory is not None
+        else None
+    )
+    assigner = scenario.link_assigner or DEFAULT_LINK_ASSIGNER
+    registry = RngRegistry(seed)
+    channel = Channel.build(topology, assigner, registry)
+    routing = RoutingEngine(
+        topology, channel, registry, scenario.sim_config.routing
+    )
+    models = {
+        edge: channel.model(*edge).fresh_copy() for edge in channel.directed_edges()
+    }
+    classes = {type(m) for m in models.values()}
+    immutable = all(c.fresh_copy is LinkModel.fresh_copy for c in classes)
+    return BuiltScenario(
+        seed=seed,
+        topology=topology,
+        models=models,
+        failure_plan=plan,
+        routing_warm=routing.capture_warm_state(),
+        models_immutable=immutable,
+    )
+
+
+def build_scenario(scenario: "Scenario", seed: int) -> BuiltScenario:
+    """Cold build: run the full construction pipeline for ``seed``."""
+    return _finish_build(scenario, seed, scenario.topology_factory(seed))
+
+
+def fork_built(
+    sibling: BuiltScenario, scenario: "Scenario", seed: int
+) -> BuiltScenario:
+    """Derive ``seed``'s skeleton from a sibling seed's.
+
+    Seed-invariant topologies are reused as-is (they are immutable and
+    identical for every seed); seed-dependent ones are rebuilt through
+    the (vectorized) factory. All per-seed draws — link-model parameters,
+    failure schedules, the routing bootstrap — are replayed for the new
+    seed, so the fork is content-identical to :func:`build_scenario`.
+    """
+    if sibling.seed == seed:
+        return sibling
+    if seed_invariant_topology(scenario.topology_factory):
+        topology = sibling.topology
+    else:
+        topology = scenario.topology_factory(seed)
+    return _finish_build(scenario, seed, topology)
+
+
+class ScenarioCache:
+    """On-disk store of :class:`BuiltScenario` skeletons, keyed by scenario."""
+
+    def __init__(self, root: "str | os.PathLike[str]") -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: Counters for benchmarking/reporting: how each request was met.
+        self.stats: Dict[str, int] = {"warm": 0, "forked": 0, "cold": 0}
+
+    # -- keys -------------------------------------------------------------------
+
+    def skeleton_key(self, scenario: "Scenario") -> str:
+        """Seed-independent digest of the scenario description + code version.
+
+        ``Scenario`` carries no seed field, so every constructor knob
+        (topology recipe, link class and its parameters, sim config
+        including engine, fault plan recipe) lands in the key and the
+        seed does not — the forking contract
+        (tests/workloads/test_scenario_cache.py pins both directions).
+        """
+        return stable_digest(code_version(), _SKELETON_KEY, scenario)
+
+    @staticmethod
+    def applicable(scenario: "Scenario") -> bool:
+        """Whether this scenario may be served from the cache at all.
+
+        Shared-state link models (interference fields, reached via
+        ``link_assigner_factory``) and sanitized runs are built fresh —
+        see the module docstring for why.
+        """
+        from repro.sanitize import hooks as _sanitize_hooks
+
+        if scenario.link_assigner_factory is not None:
+            return False
+        if _sanitize_hooks.ACTIVE is not None:
+            return False
+        return True
+
+    def _skeleton_dir(self, key: str) -> Path:
+        return self.root / key[:2] / key
+
+    def _path(self, key: str, seed: int) -> Path:
+        return self._skeleton_dir(key) / f"{seed}.pkl"
+
+    # -- store / load -----------------------------------------------------------
+
+    def load(self, key: str, seed: int) -> Optional[BuiltScenario]:
+        """The cached skeleton for ``(key, seed)``, or None on miss.
+
+        Unreadable entries (truncated by an older non-atomic writer,
+        incompatible pickle) count as misses and are removed.
+        """
+        path = self._path(key, seed)
+        try:
+            with path.open("rb") as fh:
+                entry = pickle.load(fh)
+            built = entry["result"]
+            dense = entry.get("models_dense")
+            if dense is not None:
+                built = replace(
+                    built, models=_decode_models_dense(dense, built.topology)
+                )
+            return built
+        except FileNotFoundError:
+            return None
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - cleanup race  # reprolint: disable=RPL009 - benign: re-deleted on next miss
+                pass
+            return None
+
+    def store(
+        self, key: str, seed: int, built: BuiltScenario, scenario: "Scenario"
+    ) -> None:
+        """Atomically persist a skeleton (mkstemp -> fsync -> os.replace).
+
+        Never read-modify-write: each ``(key, seed)`` is one immutable
+        file, and concurrent writers race to byte-identical content (the
+        build is deterministic), so whoever loses the ``os.replace``
+        race changes nothing.
+        """
+        path = self._path(key, seed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry: Dict[str, Any] = {
+            "description": stable_describe((_SKELETON_KEY, scenario, seed)),
+        }
+        dense = _encode_models_dense(built.models, built.topology)
+        if dense is not None:
+            entry["result"] = replace(built, models={})
+            entry["models_dense"] = dense
+        else:
+            entry["result"] = built
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                # Durability, not just atomicity: without the fsync a
+                # crash shortly after os.replace can surface a
+                # zero-length entry (same discipline as exec/cache.py).
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:  # reprolint: disable=RPL009 - tmp cleanup race; original exception re-raised
+                pass
+            raise
+
+    def _sibling(self, key: str, seed: int) -> Optional[BuiltScenario]:
+        """Any other seed's skeleton under ``key`` (lowest seed first, so
+        the fork source is deterministic given the cache contents)."""
+        skeleton_dir = self._skeleton_dir(key)
+        if not skeleton_dir.is_dir():
+            return None
+        candidates = sorted(
+            (int(p.stem), p) for p in skeleton_dir.glob("*.pkl") if p.stem.isdigit()
+        )
+        for other_seed, _path in candidates:
+            if other_seed == seed:
+                continue
+            built = self.load(key, other_seed)
+            if built is not None:
+                return built
+        return None
+
+    # -- the fast path ----------------------------------------------------------
+
+    def get_or_build(
+        self, scenario: "Scenario", seed: int
+    ) -> Tuple[BuiltScenario, str]:
+        """The skeleton for ``(scenario, seed)`` plus how it was obtained.
+
+        Resolution order: exact hit (``"warm"``), fork from a sibling
+        seed (``"forked"``, persisted for next time), full cold build
+        (``"cold"``, persisted). All three return content-identical
+        skeletons; the status string feeds benchmarks and CLI footers.
+
+        Forking only pays when the topology object can be reused — with
+        a seed-dependent topology (RGG placement) a fork rebuilds every
+        per-seed component anyway, so loading the sibling entry would be
+        pure overhead and the request goes straight to a cold build.
+        """
+        key = self.skeleton_key(scenario)
+        built = self.load(key, seed)
+        if built is not None:
+            self.stats["warm"] += 1
+            return built, "warm"
+        if seed_invariant_topology(scenario.topology_factory):
+            sibling = self._sibling(key, seed)
+            if sibling is not None:
+                built = fork_built(sibling, scenario, seed)
+                self.store(key, seed, built, scenario)
+                self.stats["forked"] += 1
+                return built, "forked"
+        built = build_scenario(scenario, seed)
+        self.store(key, seed, built, scenario)
+        self.stats["cold"] += 1
+        return built, "cold"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ScenarioCache({str(self.root)!r})"

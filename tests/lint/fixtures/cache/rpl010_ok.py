@@ -1,0 +1,28 @@
+"""RPL010 negative fixture: the ``exec/cache.py`` write discipline.
+
+Temp file in the same directory, fsync before the atomic rename, plain
+read-only loads, and no read-modify-write anywhere.
+"""
+
+import os
+import pickle
+import tempfile
+
+
+def good_store(root, name, entry):
+    path = os.path.join(root, name)
+    fd, tmp = tempfile.mkstemp(dir=root, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(entry, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        os.unlink(tmp)
+        raise
+
+
+def good_load(path):
+    with open(path, "rb") as fh:
+        return pickle.load(fh)

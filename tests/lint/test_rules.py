@@ -34,6 +34,7 @@ def rules_in(path: Path) -> set:
         ("rpl007_bad.py", "RPL007"),
         ("stream/rpl008_bad.py", "RPL008"),
         ("stream/rpl009_bad.py", "RPL009"),
+        ("cache/rpl010_bad.py", "RPL010"),
     ],
 )
 def test_positive_fixture_flags_only_its_rule(fixture, rule):
@@ -53,6 +54,7 @@ def test_positive_fixture_flags_only_its_rule(fixture, rule):
         "rpl007_ok.py",
         "stream/rpl008_ok.py",
         "stream/rpl009_ok.py",
+        "cache/rpl010_ok.py",
         "suppressed_ok.py",
     ],
 )

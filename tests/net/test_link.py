@@ -11,6 +11,8 @@ from repro.net.link import (
     DriftingLink,
     GilbertElliottLink,
     beta_loss_assigner,
+    drifting_loss_assigner,
+    gilbert_elliott_assigner,
     uniform_loss_assigner,
 )
 from repro.net.topology import line_topology, topology_from_edges
@@ -120,7 +122,7 @@ class TestChannel:
     def test_build_covers_all_directed_edges(self):
         topo = line_topology(4)
         ch = Channel.build(topo, uniform_loss_assigner(0.1, 0.2), RngRegistry(1))
-        assert sorted(ch.directed_edges()) == topo.directed_edges()
+        assert sorted(ch.directed_edges()) == list(topo.directed_edges())
 
     def test_symmetric_bernoulli(self):
         topo = line_topology(3)
@@ -168,6 +170,148 @@ class TestChannel:
         ch = Channel.build(topo, beta_loss_assigner(1.2, 6.0, scale=0.8), RngRegistry(5))
         for u, v in topo.directed_edges():
             assert 0.0 <= ch.true_loss(u, v, 0.0) <= 0.8
+
+
+class _ScalarOnly:
+    """Wrap an assigner, hiding its ``batch`` so Channel.build falls back
+    to the scalar per-edge loop — the reference for the differential tests."""
+
+    def __init__(self, assigner):
+        self._assigner = assigner
+
+    def __call__(self, u, v, rng):
+        return self._assigner(u, v, rng)
+
+
+def _model_params(model):
+    if isinstance(model, BernoulliLink):
+        return ("bernoulli", model.loss)
+    if isinstance(model, GilbertElliottLink):
+        return (
+            "ge",
+            model.p_gb,
+            model.p_bg,
+            model.loss_good,
+            model.loss_bad,
+            model._in_bad,
+        )
+    if isinstance(model, DriftingLink):
+        return ("drift", model.base_loss, model.amplitude, model.period, model.phase)
+    raise AssertionError(f"unexpected model {model!r}")
+
+
+class TestBatchedBuildBitIdentity:
+    """Batched Channel.build must replay the scalar loop bit-for-bit:
+    identical model parameters per edge AND identical post-build RNG
+    stream position (pinning the block-draw discipline)."""
+
+    ASSIGNERS = [
+        ("uniform", lambda: uniform_loss_assigner(0.05, 0.45)),
+        ("ge", lambda: gilbert_elliott_assigner()),
+        (
+            "drifting",
+            lambda: drifting_loss_assigner(
+                base_range=(0.05, 0.3),
+                amplitude_range=(0.05, 0.2),
+                period_range=(80.0, 300.0),
+            ),
+        ),
+    ]
+
+    @pytest.mark.parametrize("name,factory", ASSIGNERS, ids=[a[0] for a in ASSIGNERS])
+    def test_asymmetric_matches_scalar(self, name, factory):
+        topo = topology_from_edges([(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)])
+        fast = Channel.build(topo, factory(), RngRegistry(31))
+        slow_reg = RngRegistry(31)
+        slow = Channel.build(topo, _ScalarOnly(factory()), slow_reg)
+        for edge in topo.directed_edges():
+            assert _model_params(fast.model(*edge)) == _model_params(slow.model(*edge))
+        # Post-build stream state: the next draw from the assign stream
+        # must be identical (same number of raw uniforms consumed).
+        a = fast._rng.get("channel", "assign").random()
+        b = slow_reg.get("channel", "assign").random()
+        assert a == b
+
+    def test_symmetric_bernoulli_matches_scalar(self):
+        topo = topology_from_edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+        fast = Channel.build(
+            topo, uniform_loss_assigner(0.1, 0.4), RngRegistry(13), symmetric=True
+        )
+        slow_reg = RngRegistry(13)
+        slow = Channel.build(
+            topo, _ScalarOnly(uniform_loss_assigner(0.1, 0.4)), slow_reg, symmetric=True
+        )
+        for edge in topo.directed_edges():
+            assert fast.model(*edge).loss == slow.model(*edge).loss
+        assert (
+            fast._rng.get("channel", "assign").random()
+            == slow_reg.get("channel", "assign").random()
+        )
+
+    def test_symmetric_stateful_falls_back_to_scalar(self):
+        # GE under symmetric=True draws forward AND backward in the
+        # scalar loop (distinct instances); the batch fast path must not
+        # engage with a different draw count.
+        topo = topology_from_edges([(0, 1), (1, 2)])
+        fast = Channel.build(
+            topo, gilbert_elliott_assigner(), RngRegistry(7), symmetric=True
+        )
+        slow_reg = RngRegistry(7)
+        slow = Channel.build(
+            topo, _ScalarOnly(gilbert_elliott_assigner()), slow_reg, symmetric=True
+        )
+        for edge in topo.directed_edges():
+            assert _model_params(fast.model(*edge)) == _model_params(slow.model(*edge))
+        assert (
+            fast._rng.get("channel", "assign").random()
+            == slow_reg.get("channel", "assign").random()
+        )
+
+    def test_batch_method_replays_call_stream(self):
+        # Direct unit check: assigner.batch(n) == n sequential __call__s,
+        # in values and stream consumption.
+        for _, factory in self.ASSIGNERS:
+            a = factory()
+            rng1 = np.random.default_rng(99)
+            rng2 = np.random.default_rng(99)
+            batched = a.batch(6, rng1)
+            scalar = [a(0, 1, rng2) for _ in range(6)]
+            for m1, m2 in zip(batched, scalar):
+                assert _model_params(m1) == _model_params(m2)
+            assert rng1.random() == rng2.random()
+
+
+class TestFreshCopy:
+    def test_bernoulli_fresh_copy_is_self(self):
+        m = BernoulliLink(0.2)
+        assert m.fresh_copy() is m
+
+    def test_ge_fresh_copy_is_independent(self):
+        m = GilbertElliottLink(0.1, 0.3, loss_good=0.02, loss_bad=0.6)
+        c = m.fresh_copy()
+        assert c is not m
+        assert _model_params(c) == _model_params(m)
+        # Advancing the copy's chain must not touch the prototype.
+        rng = make_rng()
+        for _ in range(200):
+            c.sample(rng, 0.0)
+        assert m._in_bad is False
+
+
+class TestSharedStateEdges:
+    def test_plain_channel_has_none(self):
+        topo = line_topology(4)
+        ch = Channel.build(topo, uniform_loss_assigner(0.1, 0.2), RngRegistry(1))
+        assert ch.shared_state_edges() == frozenset()
+        assert ch.shared_state_edges() is ch.shared_state_edges()  # memoized
+
+    def test_interference_channel_reports_all_edges(self):
+        from repro.net.interference import InterfererField, interference_assigner
+
+        topo = line_topology(3)
+        field = InterfererField.random(topo, seed=5, num_interferers=2)
+        ch = Channel.build(topo, interference_assigner(topo, field), RngRegistry(5))
+        assert ch.shared_state_edges() == frozenset(topo.directed_edges())
 
 
 class TestAssignerValidation:

@@ -110,11 +110,11 @@ class TestTopologyValidation:
 class TestEdgesQueries:
     def test_directed_edges_both_ways(self):
         t = topology_from_edges([(0, 1), (1, 2)])
-        assert t.directed_edges() == [(0, 1), (1, 0), (1, 2), (2, 1)]
+        assert t.directed_edges() == ((0, 1), (1, 0), (1, 2), (2, 1))
 
     def test_undirected_edges_normalized(self):
         t = topology_from_edges([(2, 1), (1, 0)])
-        assert t.undirected_edges() == [(0, 1), (1, 2)]
+        assert t.undirected_edges() == ((0, 1), (1, 2))
 
     def test_upstream_edges_point_sinkward(self):
         # Diamond: 0-1, 0-2, 1-3, 2-3
@@ -132,3 +132,54 @@ class TestEdgesQueries:
         t = topology_from_edges([(0, 1), (0, 2), (1, 2)])
         ups = t.upstream_edges()
         assert (1, 2) in ups and (2, 1) in ups
+
+
+class TestMemoizedAccessors:
+    """The derived edge views are computed once and cannot be mutated."""
+
+    def test_repeated_calls_return_equal_cached_values(self):
+        t = random_geometric_topology(30, seed=5)
+        for accessor in (t.undirected_edges, t.directed_edges, t.upstream_edges):
+            first = accessor()
+            second = accessor()
+            assert first == second
+            # Memoized: the same object comes back, not a rebuilt copy.
+            assert first is second
+
+    def test_cached_views_are_immutable(self):
+        t = grid_topology(3, 3, diagonal=True)
+        for accessor in (t.undirected_edges, t.directed_edges, t.upstream_edges):
+            view = accessor()
+            assert isinstance(view, tuple)
+            with pytest.raises((TypeError, AttributeError)):
+                view[0] = (99, 100)  # type: ignore[index]
+            with pytest.raises((TypeError, AttributeError)):
+                view.append((99, 100))  # type: ignore[attr-defined]
+            # A caller materializing a list gets a private copy.
+            private = list(view)
+            private.append((99, 100))
+            assert accessor() == view
+
+    def test_vectorized_builders_match_reference_shapes(self):
+        # Grid: the array-built edge set equals the scalar definition.
+        rows, cols = 4, 5
+        t = grid_topology(rows, cols, diagonal=True)
+        expected = set()
+        for r in range(rows):
+            for c in range(cols):
+                for dr, dc in ((0, 1), (1, 0), (1, 1), (1, -1)):
+                    rr, cc = r + dr, c + dc
+                    if 0 <= rr < rows and 0 <= cc < cols:
+                        expected.add((r * cols + c, rr * cols + cc))
+        assert set(t.undirected_edges()) == {
+            (min(u, v), max(u, v)) for u, v in expected
+        }
+        assert t.positions[7] == (2 * 1.0, 1 * 1.0)
+        # Hop counts match a networkx BFS on the same graph.
+        nx_hops = dict(nx.single_source_shortest_path_length(t.graph, 0))
+        assert {n: t.hops_to_sink(n) for n in t.nodes} == nx_hops
+
+    def test_bfs_hops_match_networkx_on_rgg(self):
+        t = random_geometric_topology(60, seed=9)
+        nx_hops = dict(nx.single_source_shortest_path_length(t.graph, t.sink))
+        assert {n: t.hops_to_sink(n) for n in t.nodes} == nx_hops

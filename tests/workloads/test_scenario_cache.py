@@ -1,0 +1,251 @@
+"""Scenario-cache contracts: keys, forking, bit-identity, atomicity.
+
+Three contracts pin the cache (DESIGN.md §12.5):
+
+* **keying** — every constructor knob lands in the skeleton key; the
+  seed does not (that is what makes cross-seed forking addressable);
+* **bit-identity** — a simulation instantiated from a cached or forked
+  skeleton is byte-identical to a freshly built one, on both engines;
+* **write discipline** — entries are atomic immutable files; corrupt
+  entries degrade to misses, never to wrong results.
+"""
+
+import pickle
+
+import pytest
+
+from repro.net.link import GilbertElliottLink
+from repro.utils.rng import RngRegistry
+from repro.workloads.scenario_cache import (
+    BuiltScenario,
+    ScenarioCache,
+    build_scenario,
+    fork_built,
+    seed_invariant_topology,
+)
+from repro.workloads.scenarios import (
+    bursty_rgg_scenario,
+    dynamic_rgg_scenario,
+    failing_rgg_scenario,
+    interference_rgg_scenario,
+    line_scenario,
+    static_grid_scenario,
+)
+
+
+def _packet_bytes(sim_result):
+    """Canonical bytes of a run's observable packet stream."""
+    return pickle.dumps(
+        [
+            (
+                p.origin,
+                p.seqno,
+                p.created_at,
+                p.delivered_at,
+                p.dropped_at,
+                p.drop_reason,
+                tuple(p.hops),
+            )
+            for p in sim_result.packets
+        ]
+    ) + pickle.dumps(sim_result.events_processed)
+
+
+def _run(scenario, seed, cache=None):
+    sim = scenario.make_simulation(seed, scenario_cache=cache)
+    return _packet_bytes(sim.run())
+
+
+def _small(**overrides):
+    base = dynamic_rgg_scenario(24, duration=40.0, traffic_period=4.0)
+    return base.with_config(**overrides) if overrides else base
+
+
+class TestSkeletonKeys:
+    """Satellite: property tests for the cache-key contract."""
+
+    def test_seed_absent_from_key(self, tmp_path):
+        """The forking contract: all seeds share one skeleton directory."""
+        cache = ScenarioCache(tmp_path)
+        scn = _small()
+        key = cache.skeleton_key(scn)
+        cache.get_or_build(scn, 7)
+        cache.get_or_build(scn, 8)
+        entries = sorted(p.name for p in cache._skeleton_dir(key).glob("*.pkl"))
+        assert entries == ["7.pkl", "8.pkl"]
+
+    @pytest.mark.parametrize(
+        "variant_name,variant",
+        [
+            ("churn_noise", dynamic_rgg_scenario(24, churn_noise=0.9, duration=40.0, traffic_period=4.0)),
+            ("duration", _small(duration=41.0)),
+            ("traffic_period", _small(traffic_period=5.0)),
+            ("engine", _small(engine="array")),
+            ("link_class", bursty_rgg_scenario(24, duration=40.0, traffic_period=4.0)),
+            ("fault_plan", failing_rgg_scenario(24, duration=40.0, traffic_period=4.0)),
+            ("num_nodes", dynamic_rgg_scenario(25, duration=40.0, traffic_period=4.0)),
+        ],
+    )
+    def test_every_knob_lands_in_key(self, tmp_path, variant_name, variant):
+        cache = ScenarioCache(tmp_path)
+        assert cache.skeleton_key(_small()) != cache.skeleton_key(variant), variant_name
+
+    def test_key_stable_across_instances(self, tmp_path):
+        cache = ScenarioCache(tmp_path)
+        assert cache.skeleton_key(_small()) == cache.skeleton_key(_small())
+
+
+class TestApplicability:
+    def test_interference_bypassed(self, tmp_path):
+        cache = ScenarioCache(tmp_path)
+        scn = interference_rgg_scenario(16, duration=30.0)
+        assert not cache.applicable(scn)
+        # make_simulation silently falls through to a fresh build.
+        sim = scn.make_simulation(3, scenario_cache=cache)
+        assert sim.run().packets
+        assert cache.stats == {"warm": 0, "forked": 0, "cold": 0}
+
+    def test_sanitizer_bypassed(self, tmp_path, monkeypatch):
+        from repro.sanitize import hooks
+
+        cache = ScenarioCache(tmp_path)
+        monkeypatch.setattr(hooks, "ACTIVE", object())
+        assert not cache.applicable(_small())
+
+    def test_plain_scenarios_applicable(self, tmp_path):
+        cache = ScenarioCache(tmp_path)
+        for scn in (_small(), line_scenario(5), failing_rgg_scenario(16)):
+            assert cache.applicable(scn)
+
+
+class TestBitIdentity:
+    """Cold build ≡ warm hit ≡ fork ≡ fresh, per engine."""
+
+    @pytest.mark.parametrize("engine", ["event", "array"])
+    def test_cold_warm_fork_fresh(self, tmp_path, engine):
+        scn = _small(engine=engine)
+        cache = ScenarioCache(tmp_path)
+        fresh_a = _run(scn, 11)
+        assert _run(scn, 11, cache) == fresh_a  # cold build + store
+        assert _run(scn, 11, cache) == fresh_a  # warm hit
+        fresh_b = _run(scn, 12)
+        # RGG topology is seed-dependent, so a new seed is a cold build
+        # (forking would reuse nothing); the rerun is then warm.
+        assert _run(scn, 12, cache) == fresh_b
+        assert _run(scn, 12, cache) == fresh_b
+        assert cache.stats == {"warm": 2, "forked": 0, "cold": 2}
+
+    def test_grid_fork_reuses_topology_object(self, tmp_path):
+        scn = static_grid_scenario(4, 4, duration=40.0)
+        assert seed_invariant_topology(scn.topology_factory)
+        a = build_scenario(scn, 1)
+        b = fork_built(a, scn, 2)
+        assert b.topology is a.topology
+        cache = ScenarioCache(tmp_path)
+        fresh = _run(scn, 2)
+        cache.get_or_build(scn, 1)
+        assert _run(scn, 2, cache) == fresh  # forked from seed 1's skeleton
+        assert cache.stats == {"warm": 0, "forked": 1, "cold": 1}
+
+    def test_rgg_fork_rebuilds_topology(self):
+        scn = _small()
+        assert not seed_invariant_topology(scn.topology_factory)
+        a = build_scenario(scn, 1)
+        b = fork_built(a, scn, 2)
+        assert b.topology is not a.topology
+
+    def test_fork_same_seed_is_identity(self):
+        scn = _small()
+        a = build_scenario(scn, 5)
+        assert fork_built(a, scn, 5) is a
+
+    def test_bursty_fresh_copies_isolate_chain_state(self, tmp_path):
+        """Two instantiations of one skeleton must not share GE chains."""
+        scn = bursty_rgg_scenario(16, duration=30.0)
+        cache = ScenarioCache(tmp_path)
+        first = _run(scn, 4, cache)
+        built, status = cache.get_or_build(scn, 4)
+        assert status == "warm"
+        ge = [m for m in built.models.values() if isinstance(m, GilbertElliottLink)]
+        assert ge and all(m._in_bad is False for m in ge)  # prototypes pristine
+        assert _run(scn, 4, cache) == first
+
+
+class TestStoreDiscipline:
+    def test_corrupt_entry_is_miss_and_removed(self, tmp_path):
+        cache = ScenarioCache(tmp_path)
+        scn = _small()
+        key = cache.skeleton_key(scn)
+        cache.get_or_build(scn, 3)
+        path = cache._path(key, 3)
+        path.write_bytes(b"truncated garbage")
+        assert cache.load(key, 3) is None
+        assert not path.exists()
+        # And the next request degrades to a rebuild, not a failure.
+        built, status = cache.get_or_build(scn, 3)
+        assert isinstance(built, BuiltScenario) and status == "cold"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ScenarioCache(tmp_path)
+        cache.get_or_build(_small(), 3)
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_roundtrip_preserves_skeleton(self, tmp_path):
+        cache = ScenarioCache(tmp_path)
+        scn = _small()
+        key = cache.skeleton_key(scn)
+        built, _ = cache.get_or_build(scn, 3)
+        loaded = cache.load(key, 3)
+        assert loaded is not None
+        assert loaded.seed == 3
+        assert list(loaded.models) == list(built.models)
+        # Bit-exact through the dense all-Bernoulli entry encoding.
+        assert all(
+            type(a) is type(b) and a.loss == b.loss
+            for a, b in zip(built.models.values(), loaded.models.values())
+        )
+        assert (loaded.routing_warm.etx == built.routing_warm.etx).all()
+        assert loaded.routing_warm.parent == built.routing_warm.parent
+
+
+class TestWarmStateRestore:
+    def test_restore_matches_fresh_engine(self):
+        """RoutingEngine(warm_state=...) ≡ full construction, field by field."""
+        from repro.net.link import Channel
+        from repro.net.routing import RoutingEngine
+        from repro.net.simulation import DEFAULT_LINK_ASSIGNER
+
+        scn = _small()
+        topo = scn.topology_factory(9)
+        reg_a = RngRegistry(9)
+        chan_a = Channel.build(topo, DEFAULT_LINK_ASSIGNER, reg_a)
+        fresh = RoutingEngine(topo, chan_a, reg_a, scn.sim_config.routing)
+        warm = fresh.capture_warm_state()
+
+        reg_b = RngRegistry(9)
+        chan_b = Channel.build(topo, DEFAULT_LINK_ASSIGNER, reg_b)
+        restored = RoutingEngine(
+            topo, chan_b, reg_b, scn.sim_config.routing, warm_state=warm
+        )
+        assert (restored._etx == fresh._etx).all()
+        assert restored._parent == fresh._parent
+        assert restored._cost == fresh._cost
+        assert restored.parent_change_log == []
+
+    def test_restore_rejects_mismatched_topology(self):
+        from repro.net.link import Channel
+        from repro.net.routing import RoutingEngine
+        from repro.net.simulation import DEFAULT_LINK_ASSIGNER
+
+        scn = line_scenario(5)
+        topo5 = scn.topology_factory(1)
+        topo6 = line_scenario(6).topology_factory(1)
+        reg = RngRegistry(1)
+        chan = Channel.build(topo5, DEFAULT_LINK_ASSIGNER, reg)
+        warm = RoutingEngine(topo5, chan, reg, scn.sim_config.routing).capture_warm_state()
+        reg6 = RngRegistry(1)
+        chan6 = Channel.build(topo6, DEFAULT_LINK_ASSIGNER, reg6)
+        with pytest.raises(ValueError):
+            RoutingEngine(
+                topo6, chan6, reg6, scn.sim_config.routing, warm_state=warm
+            )
